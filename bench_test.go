@@ -1,0 +1,201 @@
+// Root benchmark harness: one benchmark per experiment table/figure of
+// EXPERIMENTS.md, so `go test -bench=. -benchmem` regenerates the
+// performance side of every reported artifact.
+package minequiv
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"minequiv/internal/conn"
+	"minequiv/internal/equiv"
+	"minequiv/internal/experiments"
+	"minequiv/internal/pipid"
+	"minequiv/internal/randnet"
+	"minequiv/internal/route"
+	"minequiv/internal/sim"
+	"minequiv/internal/topology"
+)
+
+// BenchmarkBuildBaseline (F1): constructing the Baseline MI-digraph.
+func BenchmarkBuildBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topology.Baseline(10)
+	}
+}
+
+// BenchmarkComponentTable (F3): component/stage intersection tables.
+func BenchmarkComponentTable(b *testing.B) {
+	g := topology.Baseline(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ComponentStageTable(1, g.Stages()-1)
+	}
+}
+
+// BenchmarkSixNetworksEquiv (T1): pairwise equivalence of the catalog.
+func BenchmarkSixNetworksEquiv(b *testing.B) {
+	nets, err := topology.BuildAll(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, nw := range nets {
+			if !equiv.IsBaselineEquivalent(nw.Graph) {
+				b.Fatal("classical network rejected")
+			}
+		}
+	}
+}
+
+// BenchmarkReverseConnection (T2): Proposition 1 constructive reverse.
+func BenchmarkReverseConnection(b *testing.B) {
+	c := conn.RandomIndependent(rand.New(rand.NewSource(1)), 12, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPSuffixCheck (T3): the P(*,n) family on one graph.
+func BenchmarkPSuffixCheck(b *testing.B) {
+	g := topology.Baseline(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CheckSuffix()
+	}
+}
+
+// BenchmarkIsoToBaseline (T4): explicit isomorphism construction.
+func BenchmarkIsoToBaseline(b *testing.B) {
+	g := topology.MustBuild(topology.NameOmega, 10).Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := equiv.IsoToBaseline(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPIPIDConnection (T5): connection induced by one theta plus
+// its independence decision.
+func BenchmarkPIPIDConnection(b *testing.B) {
+	theta := pipid.BitReversal(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := conn.FromIndexPerm(theta)
+		if !c.IsIndependent() {
+			b.Fatal("not independent")
+		}
+	}
+}
+
+// BenchmarkCounterexampleCheck (T6): characterization check rejecting
+// the tail-cycle Banyan.
+func BenchmarkCounterexampleCheck(b *testing.B) {
+	g, err := randnet.TailCycleBanyan(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if equiv.IsBaselineEquivalent(g) {
+			b.Fatal("counterexample accepted")
+		}
+	}
+}
+
+// BenchmarkSimUniform (T7): one uniform wave through the fabric.
+func BenchmarkSimUniform(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameOmega, 8).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	pattern := sim.Uniform()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.RunWave(pattern(f.N, rng), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimBuffered (T7): buffered queueing simulation.
+func BenchmarkSimBuffered(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameBaseline, 6).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.RunBuffered(sim.BufferedConfig{Load: 0.6, Queue: 4, Cycles: 200, Warmup: 20}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteAllPairs (T8): all N^2 tag routes.
+func BenchmarkRouteAllPairs(b *testing.B) {
+	r, err := route.NewRouter(topology.MustBuild(topology.NameFlip, 8).IndexPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.VerifyAllPairs(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndependenceDef and BenchmarkIndependenceFast (T9 ablation).
+func BenchmarkIndependenceDef(b *testing.B) {
+	c := conn.RandomIndependent(rand.New(rand.NewSource(4)), 9, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.IsIndependentDef() {
+			b.Fatal("not independent")
+		}
+	}
+}
+
+func BenchmarkIndependenceFast(b *testing.B) {
+	c := conn.RandomIndependent(rand.New(rand.NewSource(4)), 9, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.IsIndependent() {
+			b.Fatal("not independent")
+		}
+	}
+}
+
+// BenchmarkCharacterization (T10): the full check at a larger size.
+func BenchmarkCharacterization(b *testing.B) {
+	g := topology.MustBuild(topology.NameIndirectCube, 12).Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !equiv.Check(g).Equivalent() {
+			b.Fatal("rejected")
+		}
+	}
+}
+
+// BenchmarkExperimentF1 keeps the figure path itself honest.
+func BenchmarkExperimentF1(b *testing.B) {
+	e, ok := experiments.ByID("F1")
+	if !ok {
+		b.Fatal("F1 missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

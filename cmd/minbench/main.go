@@ -1,0 +1,46 @@
+// Command minbench regenerates every figure and experiment table of the
+// reproduction (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	minbench            # run everything
+//	minbench list       # list experiment IDs
+//	minbench T1 F5 ...  # run selected experiments
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"minequiv/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "minbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 1 && args[0] == "list" {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(w, "%-5s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if len(args) == 0 {
+		return experiments.RunAll(w)
+	}
+	for _, id := range args {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try `minbench list`)", id)
+		}
+		if err := experiments.RunOne(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

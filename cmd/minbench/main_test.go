@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"F1", "F5", "T1", "T12"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"F5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "theta^-1(0) = 0") {
+		t.Errorf("F5 output wrong:\n%s", buf.String())
+	}
+}
+
+func TestMultipleExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"F1", "F2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 1") || !strings.Contains(buf.String(), "Fig 2") {
+		t.Error("multi-run missing experiments")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"T99"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

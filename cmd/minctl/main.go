@@ -1,0 +1,150 @@
+// Command minctl inspects multistage interconnection networks: build the
+// classical networks, check the paper's characterization, construct
+// isomorphisms, draw figures, and route packets.
+//
+// Usage:
+//
+//	minctl list
+//	minctl draw     -net omega -n 4 [-tuples]
+//	minctl check    -net flip -n 5
+//	minctl equiv    -net omega -net2 baseline -n 5
+//	minctl iso      -net indirect-binary-cube -n 4
+//	minctl route    -net omega -n 4 -src 3 -dst 12
+//	minctl windows  -net baseline -n 5
+//	minctl counter  -n 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"minequiv/internal/ascii"
+	"minequiv/internal/equiv"
+	"minequiv/internal/randnet"
+	"minequiv/internal/route"
+	"minequiv/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "minctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (list, draw, check, equiv, iso, route, windows, counter)")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
+	netName := fs.String("net", topology.NameBaseline, "network name")
+	netName2 := fs.String("net2", topology.NameOmega, "second network name (equiv)")
+	n := fs.Int("n", 4, "number of stages")
+	tuples := fs.Bool("tuples", false, "print labels as binary tuples")
+	src := fs.Uint64("src", 0, "source terminal (route)")
+	dst := fs.Uint64("dst", 0, "destination terminal (route)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	switch sub {
+	case "list":
+		for _, name := range topology.Names() {
+			fmt.Fprintln(w, name)
+		}
+		return nil
+
+	case "draw":
+		nw, err := topology.Build(*netName, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, ascii.Network(nw.Graph, ascii.Options{
+			Title: fmt.Sprintf("%s, n=%d", nw.Name, *n), Tuples: *tuples, OneBased: true}))
+		return nil
+
+	case "check":
+		nw, err := topology.Build(*netName, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, equiv.Check(nw.Graph).String())
+		return nil
+
+	case "windows":
+		nw, err := topology.Build(*netName, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, ascii.WindowResults(nw.Graph.CheckAllWindows()))
+		return nil
+
+	case "equiv":
+		a, err := topology.Build(*netName, *n)
+		if err != nil {
+			return err
+		}
+		b, err := topology.Build(*netName2, *n)
+		if err != nil {
+			return err
+		}
+		iso, err := equiv.IsoBetween(a.Graph, b.Graph)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s and %s (n=%d) are topologically equivalent.\n", a.Name, b.Name, *n)
+		fmt.Fprintf(w, "stage-0 node mapping: %v\n", iso.Maps[0])
+		return nil
+
+	case "iso":
+		nw, err := topology.Build(*netName, *n)
+		if err != nil {
+			return err
+		}
+		iso, err := equiv.IsoToBaseline(nw.Graph)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "isomorphism %s -> baseline (n=%d):\n", nw.Name, *n)
+		for s, m := range iso.Maps {
+			fmt.Fprintf(w, "stage %d: %v\n", s+1, []uint64(m))
+		}
+		return nil
+
+	case "route":
+		nw, err := topology.Build(*netName, *n)
+		if err != nil {
+			return err
+		}
+		r, err := route.NewRouter(nw.IndexPerms)
+		if err != nil {
+			return err
+		}
+		p, err := r.Route(*src, *dst)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: route %d -> %d (tag bits %v)\n", nw.Name, *src, *dst, r.TagPositions())
+		for _, st := range p.Steps {
+			fmt.Fprintf(w, "  stage %d: cell %d, in port %d, out port %d\n",
+				st.Stage+1, st.Cell, st.InPort, st.OutPort)
+		}
+		return nil
+
+	case "counter":
+		g, err := randnet.TailCycleBanyan(*n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "tail-cycle counterexample, n=%d:\n", *n)
+		fmt.Fprint(w, equiv.Check(g).String())
+		fmt.Fprint(w, ascii.WindowResults(g.CheckAllWindows()))
+		return nil
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}

@@ -1,0 +1,114 @@
+// Command minsim runs packet-level simulations of a multistage
+// interconnection network.
+//
+// Usage:
+//
+//	minsim -net omega -n 6 -model wave     -waves 500 -pattern uniform
+//	minsim -net flip  -n 6 -model buffered -load 0.7 -queue 4 -cycles 5000
+//	minsim -counter -n 6 -model wave       # simulate the tail-cycle counterexample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"minequiv/internal/randnet"
+	"minequiv/internal/sim"
+	"minequiv/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "minsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("minsim", flag.ContinueOnError)
+	netName := fs.String("net", topology.NameOmega, "network name")
+	counter := fs.Bool("counter", false, "simulate the tail-cycle counterexample instead of -net")
+	n := fs.Int("n", 6, "number of stages")
+	model := fs.String("model", "wave", "wave or buffered")
+	pattern := fs.String("pattern", "uniform", "uniform, permutation, bitreversal, hotspot")
+	waves := fs.Int("waves", 500, "waves (wave model)")
+	load := fs.Float64("load", 0.6, "offered load (buffered model)")
+	queue := fs.Int("queue", 4, "queue capacity (buffered model)")
+	cycles := fs.Int("cycles", 5000, "measured cycles (buffered model)")
+	warmup := fs.Int("warmup", 500, "warmup cycles (buffered model)")
+	hotspot := fs.Float64("hotspot", 0.3, "hot-spot probability (hotspot pattern)")
+	seed := fs.Int64("seed", 1, "rng seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var f *sim.Fabric
+	var name string
+	if *counter {
+		perms, err := randnet.TailCycleLinkPerms(*n)
+		if err != nil {
+			return err
+		}
+		fab, err := sim.NewFabric(perms)
+		if err != nil {
+			return err
+		}
+		f, name = fab, "tail-cycle"
+	} else {
+		nw, err := topology.Build(*netName, *n)
+		if err != nil {
+			return err
+		}
+		fab, err := sim.NewFabric(nw.LinkPerms)
+		if err != nil {
+			return err
+		}
+		f, name = fab, nw.Name
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	switch *model {
+	case "wave":
+		var tr sim.Traffic
+		switch *pattern {
+		case "uniform":
+			tr = sim.Uniform()
+		case "permutation":
+			tr = sim.RandomPermutation()
+		case "bitreversal":
+			tr = sim.BitReversal()
+		case "hotspot":
+			tr = sim.HotSpot(0, *hotspot)
+		default:
+			return fmt.Errorf("unknown pattern %q", *pattern)
+		}
+		th, err := f.Throughput(tr, *waves, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s n=%d (N=%d), %s traffic, %d waves: throughput %.4f\n",
+			name, *n, f.N, *pattern, *waves, th)
+		return nil
+
+	case "buffered":
+		res, err := f.RunBuffered(sim.BufferedConfig{
+			Load: *load, Queue: *queue, Cycles: *cycles, Warmup: *warmup,
+		}, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s n=%d (N=%d), buffered, load %.2f, queue %d, %d cycles:\n",
+			name, *n, f.N, *load, *queue, *cycles)
+		fmt.Fprintf(w, "  throughput   %.4f per terminal per cycle\n", res.Throughput)
+		fmt.Fprintf(w, "  mean latency %.2f cycles\n", res.MeanLatency)
+		fmt.Fprintf(w, "  injected %d, delivered %d, rejected %d, in flight %d\n",
+			res.Injected, res.Delivered, res.Rejected, res.InFlight)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestWaveModel(t *testing.T) {
+	out, err := runSim(t, "-net", "omega", "-n", "4", "-model", "wave", "-waves", "20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "omega n=4") || !strings.Contains(out, "throughput") {
+		t.Errorf("wave output wrong:\n%s", out)
+	}
+}
+
+func TestWavePatterns(t *testing.T) {
+	for _, p := range []string{"uniform", "permutation", "bitreversal", "hotspot"} {
+		if _, err := runSim(t, "-n", "3", "-model", "wave", "-waves", "5", "-pattern", p); err != nil {
+			t.Errorf("pattern %s: %v", p, err)
+		}
+	}
+	if _, err := runSim(t, "-model", "wave", "-pattern", "nope", "-n", "3"); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestBufferedModel(t *testing.T) {
+	out, err := runSim(t, "-net", "flip", "-n", "3", "-model", "buffered",
+		"-cycles", "200", "-warmup", "20", "-load", "0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"buffered", "mean latency", "injected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("buffered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterFlag(t *testing.T) {
+	out, err := runSim(t, "-counter", "-n", "4", "-model", "wave", "-waves", "10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tail-cycle") {
+		t.Errorf("counter output wrong:\n%s", out)
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	if _, err := runSim(t, "-net", "nope", "-n", "3"); err == nil {
+		t.Error("unknown network accepted")
+	}
+	if _, err := runSim(t, "-model", "nope", "-n", "3"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := runSim(t, "-counter", "-n", "2"); err == nil {
+		t.Error("n=2 counterexample accepted")
+	}
+	if _, err := runSim(t, "-model", "buffered", "-n", "3", "-queue", "0"); err == nil {
+		t.Error("zero queue accepted")
+	}
+}

@@ -1,0 +1,34 @@
+// Package minequiv is a full reproduction of Bermond & Fourneau,
+// "Independent Connections: An Easy Characterization of Baseline-
+// Equivalent Multistage Interconnection Networks" (ICPP 1988; TCS 64,
+// 1989).
+//
+// The library models multistage interconnection networks as MI-digraphs,
+// decides baseline-equivalence via the paper's characterization (Banyan +
+// P(1,*) + P(*,n)), constructs explicit isomorphisms onto the Baseline
+// network, implements independent connections and PIPID permutations
+// with their §4 relationship, and adds routing and packet-simulation
+// layers that give the equivalence theorem its systems-level meaning.
+//
+// Layout:
+//
+//	internal/bitops      label bit manipulation
+//	internal/gf2         GF(2) linear algebra and affine maps
+//	internal/perm        permutations on symbols (link level)
+//	internal/pipid       index-digit permutations (PIPID, BPC)
+//	internal/midigraph   the MI-digraph model, windows, P(i,j), Banyan
+//	internal/conn        connections (f,g), independence, Proposition 1
+//	internal/topology    the six classical networks and generic builders
+//	internal/equiv       characterization check, isomorphism construction
+//	internal/route       bit-directed routing, admissibility
+//	internal/sim         packet simulation (wave and buffered models)
+//	internal/randnet     random networks and counterexample families
+//	internal/ascii       text rendering of networks and figures
+//	internal/experiments the F*/T* experiment harness
+//	cmd/minctl           inspection CLI
+//	cmd/minbench         regenerates every figure/table
+//	cmd/minsim           traffic simulation driver
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package minequiv

@@ -1,0 +1,43 @@
+// Counterexample: the Banyan property alone does NOT imply baseline
+// equivalence — the P window properties are essential. This example
+// builds the tail-cycle Banyan, shows exactly which windows fail, and
+// confirms with the exact oracle that no isomorphism exists.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minequiv/internal/ascii"
+	"minequiv/internal/equiv"
+	"minequiv/internal/randnet"
+	"minequiv/internal/topology"
+)
+
+func main() {
+	const n = 4
+	g, err := randnet.TailCycleBanyan(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("tail-cycle network: Baseline with the last connection replaced by")
+	fmt.Println("the cycle y -> {y, y+1 mod h}:")
+	fmt.Println()
+	fmt.Print(ascii.Network(g, ascii.Options{OneBased: true}))
+
+	banyan, _ := g.IsBanyan()
+	fmt.Printf("\nbanyan: %v (every input still reaches every output exactly once)\n\n", banyan)
+
+	fmt.Println("window properties:")
+	fmt.Print(ascii.WindowResults(g.CheckAllWindows()))
+
+	fmt.Println()
+	fmt.Print(equiv.Check(g))
+
+	// The oracle double-checks: no stage-respecting isomorphism at all.
+	if _, found := equiv.FindIsomorphism(g, topology.Baseline(n)); found {
+		log.Fatal("BUG: oracle found an isomorphism")
+	}
+	fmt.Println("\nexact search confirms: no isomorphism onto Baseline exists.")
+}

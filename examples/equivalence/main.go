@@ -1,0 +1,53 @@
+// Equivalence: reproduce the paper's main corollary interactively — the
+// six classical networks (Omega, Flip, Indirect Binary Cube, Modified
+// Data Manipulator, Baseline, Reverse Baseline) are pairwise
+// topologically equivalent, and the reason is that their PIPID stages
+// induce independent connections.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minequiv/internal/conn"
+	"minequiv/internal/equiv"
+	"minequiv/internal/topology"
+)
+
+func main() {
+	const n = 5
+	nets, err := topology.BuildAll(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: every stage of every network is an independent connection
+	// (the §4 theorem — PIPID implies independence).
+	fmt.Printf("stage-by-stage independence (n=%d):\n", n)
+	for _, nw := range nets {
+		allIndep := true
+		for _, theta := range nw.IndexPerms {
+			if !conn.FromIndexPerm(theta).IsIndependent() {
+				allIndep = false
+			}
+		}
+		fmt.Printf("  %-28s independent stages: %v\n", nw.Name, allIndep)
+	}
+
+	// Step 2: therefore (Theorem 3) all are isomorphic to Baseline, and
+	// hence to each other. Verify each pair explicitly.
+	fmt.Println("\npairwise verified isomorphisms:")
+	for i := range nets {
+		for j := i + 1; j < len(nets); j++ {
+			iso, err := equiv.IsoBetween(nets[i].Graph, nets[j].Graph)
+			if err != nil {
+				log.Fatalf("%s ~ %s: %v", nets[i].Name, nets[j].Name, err)
+			}
+			if err := iso.Verify(nets[i].Graph, nets[j].Graph); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-28s ~ %s\n", nets[i].Name, nets[j].Name)
+		}
+	}
+	fmt.Println("\nall 15 pairs equivalent, as the paper proves.")
+}

@@ -1,0 +1,22 @@
+// Figures: regenerate the paper's five figures directly from the public
+// experiment harness — the fastest way to see what the paper is about.
+package main
+
+import (
+	"log"
+	"os"
+
+	"minequiv/internal/experiments"
+)
+
+func main() {
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5"} {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			log.Fatalf("experiment %s missing", id)
+		}
+		if err := experiments.RunOne(os.Stdout, e); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+
+	"minequiv/internal/pipid"
+	"minequiv/internal/topology"
+)
+
+func TestNetworkRendering(t *testing.T) {
+	g := topology.Baseline(3)
+	out := Network(g, Options{Title: "Baseline(8)", OneBased: true})
+	for _, want := range []string{
+		"Baseline(8)",
+		"3 stages x 4 cells (N = 8 terminals)",
+		"stage 1 -> 2:",
+		"stage 2 -> 3:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Every cell appears with its two children.
+	if !strings.Contains(out, "-> 0, 2") {
+		t.Errorf("children listing missing:\n%s", out)
+	}
+}
+
+func TestNetworkTuples(t *testing.T) {
+	g := topology.Baseline(3)
+	out := Network(g, Options{Tuples: true})
+	if !strings.Contains(out, "(0,0)") || !strings.Contains(out, "(1,1)") {
+		t.Errorf("tuple labels missing:\n%s", out)
+	}
+}
+
+func TestDoubleLinkMarker(t *testing.T) {
+	nw, err := topology.FromIndexPerms("fig5", 3,
+		[]pipid.IndexPerm{pipid.Identity(3), pipid.PerfectShuffle(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Network(nw.Graph, Options{})
+	if !strings.Contains(out, "(double link)") {
+		t.Errorf("double link not marked:\n%s", out)
+	}
+}
+
+func TestColumns(t *testing.T) {
+	g := topology.Baseline(3)
+	out := Columns(g, Options{OneBased: true, Title: "cols"})
+	if !strings.Contains(out, "stage 1") || !strings.Contains(out, "stage 3") {
+		t.Errorf("column headers missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + one line per cell.
+	if len(lines) != 2+g.CellsPerStage() {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestLinkTable(t *testing.T) {
+	p := pipid.PerfectShuffle(4).ToPerm()
+	out := LinkTable(p, "sigma on 16 links")
+	if !strings.Contains(out, "sigma on 16 links") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "(0,0,0,1)") || !strings.Contains(out, "(0,0,1,0)") {
+		t.Errorf("tuple columns missing:\n%s", out)
+	}
+	// 16 data rows + header + title.
+	if got := strings.Count(out, "\n"); got != 18 {
+		t.Errorf("line count %d, want 18", got)
+	}
+}
+
+func TestComponentTable(t *testing.T) {
+	g := topology.Baseline(4)
+	rows := g.ComponentStageTable(1, 3)
+	out := ComponentTable(rows, 1, true)
+	if !strings.Contains(out, "|V2|") || !strings.Contains(out, "C0") {
+		t.Errorf("component table malformed:\n%s", out)
+	}
+	if got := ComponentTable(nil, 0, false); got != "no components\n" {
+		t.Errorf("empty table: %q", got)
+	}
+}
+
+func TestWindowResults(t *testing.T) {
+	g := topology.Baseline(4)
+	out := WindowResults(g.CheckSuffix())
+	if !strings.Contains(out, "ok") || strings.Contains(out, "VIOLATED") {
+		t.Errorf("baseline window table wrong:\n%s", out)
+	}
+	bad := g.Clone()
+	h := uint32(bad.CellsPerStage())
+	for y := uint32(0); y < h; y++ {
+		bad.SetChildren(2, y, y, (y+1)%h)
+	}
+	out = WindowResults(bad.CheckSuffix())
+	if !strings.Contains(out, "VIOLATED") {
+		t.Errorf("violation not rendered:\n%s", out)
+	}
+}

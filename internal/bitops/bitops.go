@@ -1,0 +1,218 @@
+// Package bitops provides bit-field manipulation helpers for the binary
+// cell and link labels used throughout the multistage interconnection
+// network (MIN) literature and in Bermond & Fourneau's paper.
+//
+// Labels are w-bit unsigned values. Bit 0 is the least significant digit
+// x_0 of the paper's tuple notation (x_{w-1}, ..., x_1, x_0). All
+// functions treat bits above position w-1 as absent: inputs are masked,
+// outputs never carry stray high bits.
+package bitops
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mask returns a value with the low w bits set. Mask(0) == 0.
+func Mask(w int) uint64 {
+	if w <= 0 {
+		return 0
+	}
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// Bit returns bit i of x (0 or 1).
+func Bit(x uint64, i int) uint64 {
+	return (x >> uint(i)) & 1
+}
+
+// SetBit returns x with bit i forced to b (b must be 0 or 1).
+func SetBit(x uint64, i int, b uint64) uint64 {
+	if b&1 == 0 {
+		return x &^ (uint64(1) << uint(i))
+	}
+	return x | (uint64(1) << uint(i))
+}
+
+// FlipBit returns x with bit i complemented.
+func FlipBit(x uint64, i int) uint64 {
+	return x ^ (uint64(1) << uint(i))
+}
+
+// InsertBit widens x by one bit: bits above position i shift left, bit i
+// becomes b, bits below i stay. The result has one more significant bit
+// than x. InsertBit(x, 0, b) == x<<1 | b.
+func InsertBit(x uint64, i int, b uint64) uint64 {
+	hi := x >> uint(i) << uint(i+1)
+	lo := x & Mask(i)
+	return hi | (b&1)<<uint(i) | lo
+}
+
+// DeleteBit narrows x by one bit: bit i is removed and bits above it
+// shift right. DeleteBit(x, 0) == x>>1.
+func DeleteBit(x uint64, i int) uint64 {
+	hi := x >> uint(i+1) << uint(i)
+	lo := x & Mask(i)
+	return hi | lo
+}
+
+// ExtractBit returns bit i of x together with x with that bit deleted.
+func ExtractBit(x uint64, i int) (bit uint64, rest uint64) {
+	return Bit(x, i), DeleteBit(x, i)
+}
+
+// RotLeft rotates the low w bits of x left by one position: the most
+// significant of the w bits becomes bit 0. This is the perfect shuffle
+// sigma of the paper restricted to w digits:
+//
+//	sigma(x_{w-1}, x_{w-2}, ..., x_0) = (x_{w-2}, ..., x_0, x_{w-1}).
+//
+// Bits of x at position >= w are discarded.
+func RotLeft(x uint64, w int) uint64 {
+	if w <= 1 {
+		return x & Mask(w)
+	}
+	x &= Mask(w)
+	return ((x << 1) | (x >> uint(w-1))) & Mask(w)
+}
+
+// RotRight rotates the low w bits of x right by one position: bit 0 moves
+// to position w-1. This is the inverse perfect shuffle (unshuffle).
+func RotRight(x uint64, w int) uint64 {
+	if w <= 1 {
+		return x & Mask(w)
+	}
+	x &= Mask(w)
+	return (x >> 1) | ((x & 1) << uint(w-1))
+}
+
+// RotLeftK rotates only the low k bits of x left by one, leaving bits k
+// and above untouched. This is the paper's k-subshuffle sigma_k.
+func RotLeftK(x uint64, w, k int) uint64 {
+	if k > w {
+		k = w
+	}
+	hi := x & (Mask(w) &^ Mask(k))
+	return hi | RotLeft(x&Mask(k), k)
+}
+
+// RotRightK rotates only the low k bits of x right by one, leaving bits k
+// and above untouched (inverse k-subshuffle).
+func RotRightK(x uint64, w, k int) uint64 {
+	if k > w {
+		k = w
+	}
+	hi := x & (Mask(w) &^ Mask(k))
+	return hi | RotRight(x&Mask(k), k)
+}
+
+// SwapBits returns x with bits i and j exchanged. SwapBits with i == j is
+// the identity. Exchanging bit 0 with bit k is the paper's k-butterfly.
+func SwapBits(x uint64, i, j int) uint64 {
+	bi, bj := Bit(x, i), Bit(x, j)
+	if bi == bj {
+		return x
+	}
+	return FlipBit(FlipBit(x, i), j)
+}
+
+// Reverse reverses the low w bits of x: bit i moves to position w-1-i.
+// This is the bit-reversal permutation rho of the paper.
+func Reverse(x uint64, w int) uint64 {
+	var r uint64
+	x &= Mask(w)
+	for i := 0; i < w; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// Tuple formats x as the paper's w-digit binary tuple, most significant
+// digit first: Tuple(5, 4) == "(0,1,0,1)".
+func Tuple(x uint64, w int) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := w - 1; i >= 0; i-- {
+		if Bit(x, i) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ParseTuple parses the format produced by Tuple and reports the value and
+// width. Whitespace inside the tuple is ignored.
+func ParseTuple(s string) (x uint64, w int, err error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return 0, 0, fmt.Errorf("bitops: tuple %q must be parenthesized", s)
+	}
+	body := s[1 : len(s)-1]
+	if strings.TrimSpace(body) == "" {
+		return 0, 0, nil
+	}
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		switch part {
+		case "0":
+			x = x << 1
+		case "1":
+			x = x<<1 | 1
+		default:
+			return 0, 0, fmt.Errorf("bitops: tuple digit %q is not 0 or 1", part)
+		}
+		w++
+		if w > 64 {
+			return 0, 0, fmt.Errorf("bitops: tuple wider than 64 bits")
+		}
+	}
+	return x, w, nil
+}
+
+// Bits expands x into a slice of its low w bits, index i holding x_i.
+func Bits(x uint64, w int) []uint64 {
+	out := make([]uint64, w)
+	for i := range out {
+		out[i] = Bit(x, i)
+	}
+	return out
+}
+
+// FromBits reassembles a value from a bit slice as produced by Bits.
+func FromBits(bits []uint64) uint64 {
+	var x uint64
+	for i, b := range bits {
+		x |= (b & 1) << uint(i)
+	}
+	return x
+}
+
+// Log2 returns the exact base-2 logarithm of x. It panics if x is not a
+// positive power of two; network sizes in this library are always exact
+// powers of two and a silent rounding would corrupt every stage count.
+func Log2(x uint64) int {
+	if x == 0 || x&(x-1) != 0 {
+		panic(fmt.Sprintf("bitops: %d is not a power of two", x))
+	}
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// IsPow2 reports whether x is a positive power of two.
+func IsPow2(x uint64) bool {
+	return x != 0 && x&(x-1) == 0
+}

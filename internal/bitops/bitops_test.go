@@ -1,0 +1,282 @@
+package bitops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		w    int
+		want uint64
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 3}, {3, 7}, {8, 255},
+		{63, 1<<63 - 1}, {64, ^uint64(0)}, {70, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.w); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.w, got, c.want)
+		}
+	}
+}
+
+func TestBitSetFlip(t *testing.T) {
+	x := uint64(0b1010)
+	if Bit(x, 0) != 0 || Bit(x, 1) != 1 || Bit(x, 2) != 0 || Bit(x, 3) != 1 {
+		t.Fatalf("Bit readings wrong for %b", x)
+	}
+	if got := SetBit(x, 0, 1); got != 0b1011 {
+		t.Errorf("SetBit(1010,0,1) = %b", got)
+	}
+	if got := SetBit(x, 1, 0); got != 0b1000 {
+		t.Errorf("SetBit(1010,1,0) = %b", got)
+	}
+	if got := SetBit(x, 1, 1); got != x {
+		t.Errorf("SetBit same value changed input: %b", got)
+	}
+	if got := FlipBit(x, 3); got != 0b0010 {
+		t.Errorf("FlipBit(1010,3) = %b", got)
+	}
+	if got := FlipBit(FlipBit(x, 2), 2); got != x {
+		t.Errorf("FlipBit twice not identity: %b", got)
+	}
+}
+
+func TestInsertDeleteBit(t *testing.T) {
+	// Inserting then deleting at the same position is the identity.
+	for x := uint64(0); x < 64; x++ {
+		for i := 0; i < 7; i++ {
+			for b := uint64(0); b < 2; b++ {
+				ins := InsertBit(x, i, b)
+				if Bit(ins, i) != b {
+					t.Fatalf("InsertBit(%d,%d,%d): bit not set", x, i, b)
+				}
+				if got := DeleteBit(ins, i); got != x {
+					t.Fatalf("DeleteBit(InsertBit(%d,%d,%d)) = %d", x, i, b, got)
+				}
+			}
+		}
+	}
+	if got := InsertBit(0b101, 0, 1); got != 0b1011 {
+		t.Errorf("InsertBit(101,0,1) = %b", got)
+	}
+	if got := InsertBit(0b101, 2, 0); got != 0b1001 {
+		t.Errorf("InsertBit(101,2,0) = %b", got)
+	}
+	if got := DeleteBit(0b1011, 1); got != 0b101 {
+		t.Errorf("DeleteBit(1011,1) = %b", got)
+	}
+	if got := DeleteBit(0b1011, 3); got != 0b011 {
+		t.Errorf("DeleteBit(1011,3) = %b", got)
+	}
+}
+
+func TestExtractBit(t *testing.T) {
+	b, rest := ExtractBit(0b1101, 1)
+	if b != 0 || rest != 0b111 {
+		t.Errorf("ExtractBit(1101,1) = %d,%b", b, rest)
+	}
+	b, rest = ExtractBit(0b1101, 2)
+	if b != 1 || rest != 0b101 {
+		t.Errorf("ExtractBit(1101,2) = %d,%b", b, rest)
+	}
+}
+
+func TestRotations(t *testing.T) {
+	// Perfect shuffle on 3 bits: (x2,x1,x0) -> (x1,x0,x2).
+	cases := []struct{ x, want uint64 }{
+		{0b000, 0b000}, {0b001, 0b010}, {0b010, 0b100}, {0b100, 0b001},
+		{0b110, 0b101}, {0b111, 0b111},
+	}
+	for _, c := range cases {
+		if got := RotLeft(c.x, 3); got != c.want {
+			t.Errorf("RotLeft(%03b,3) = %03b, want %03b", c.x, got, c.want)
+		}
+		if got := RotRight(c.want, 3); got != c.x {
+			t.Errorf("RotRight(%03b,3) = %03b, want %03b", c.want, got, c.x)
+		}
+	}
+	// Width-1 and width-0 rotations are the identity.
+	if RotLeft(1, 1) != 1 || RotRight(1, 1) != 1 || RotLeft(0, 0) != 0 {
+		t.Error("degenerate rotations wrong")
+	}
+	// w rotations of w bits is the identity.
+	for w := 1; w <= 10; w++ {
+		x := uint64(0x2f) & Mask(w)
+		y := x
+		for i := 0; i < w; i++ {
+			y = RotLeft(y, w)
+		}
+		if y != x {
+			t.Errorf("w=%d: %d rotations != identity (got %b want %b)", w, w, y, x)
+		}
+	}
+}
+
+func TestRotK(t *testing.T) {
+	// sigma_2 on 4 bits touches only bits 0..1.
+	x := uint64(0b1101)
+	if got := RotLeftK(x, 4, 2); got != 0b1110 {
+		t.Errorf("RotLeftK(1101,4,2) = %04b", got)
+	}
+	if got := RotRightK(0b1110, 4, 2); got != x {
+		t.Errorf("RotRightK(1110,4,2) = %04b", got)
+	}
+	// k = w degenerates to a full rotation.
+	if RotLeftK(x, 4, 4) != RotLeft(x, 4) {
+		t.Error("RotLeftK(k=w) != RotLeft")
+	}
+	// k > w is clamped.
+	if RotLeftK(x, 4, 9) != RotLeft(x, 4) {
+		t.Error("RotLeftK(k>w) != RotLeft")
+	}
+	// k = 1 and k = 0 are identities.
+	if RotLeftK(x, 4, 1) != x || RotLeftK(x, 4, 0) != x {
+		t.Error("RotLeftK small k not identity")
+	}
+}
+
+func TestSwapBits(t *testing.T) {
+	if got := SwapBits(0b0001, 0, 3); got != 0b1000 {
+		t.Errorf("SwapBits(0001,0,3) = %04b", got)
+	}
+	if got := SwapBits(0b1001, 0, 3); got != 0b1001 {
+		t.Errorf("SwapBits equal bits changed value: %04b", got)
+	}
+	if got := SwapBits(0b0101, 2, 2); got != 0b0101 {
+		t.Errorf("SwapBits(i==j) changed value: %04b", got)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		w    int
+		want uint64
+	}{
+		{0b001, 3, 0b100}, {0b110, 3, 0b011}, {0b101, 3, 0b101},
+		{0b0001, 4, 0b1000}, {1, 1, 1}, {0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := Reverse(c.x, c.w); got != c.want {
+			t.Errorf("Reverse(%b,%d) = %b, want %b", c.x, c.w, got, c.want)
+		}
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	if got := Tuple(5, 4); got != "(0,1,0,1)" {
+		t.Errorf("Tuple(5,4) = %q", got)
+	}
+	if got := Tuple(0, 3); got != "(0,0,0)" {
+		t.Errorf("Tuple(0,3) = %q", got)
+	}
+	for x := uint64(0); x < 32; x++ {
+		s := Tuple(x, 5)
+		y, w, err := ParseTuple(s)
+		if err != nil || y != x || w != 5 {
+			t.Errorf("ParseTuple(Tuple(%d,5)) = %d,%d,%v", x, y, w, err)
+		}
+	}
+	if _, _, err := ParseTuple("(0,2,1)"); err == nil {
+		t.Error("ParseTuple accepted digit 2")
+	}
+	if _, _, err := ParseTuple("0,1"); err == nil {
+		t.Error("ParseTuple accepted unparenthesized input")
+	}
+	if x, w, err := ParseTuple(" (1, 0, 1) "); err != nil || x != 5 || w != 3 {
+		t.Errorf("ParseTuple with spaces = %d,%d,%v", x, w, err)
+	}
+}
+
+func TestBitsFromBits(t *testing.T) {
+	for x := uint64(0); x < 64; x++ {
+		if got := FromBits(Bits(x, 6)); got != x {
+			t.Errorf("FromBits(Bits(%d)) = %d", x, got)
+		}
+	}
+	bits := Bits(0b1011, 4)
+	want := []uint64{1, 1, 0, 1}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Errorf("Bits(1011)[%d] = %d, want %d", i, bits[i], want[i])
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		if got := Log2(1 << uint(i)); got != i {
+			t.Errorf("Log2(2^%d) = %d", i, got)
+		}
+	}
+	for _, bad := range []uint64{0, 3, 5, 6, 7, 12, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Log2(%d) did not panic", bad)
+				}
+			}()
+			Log2(bad)
+		}()
+	}
+	if IsPow2(0) || IsPow2(3) || !IsPow2(1) || !IsPow2(1024) {
+		t.Error("IsPow2 wrong")
+	}
+}
+
+// Property: RotLeft and RotRight are inverse bijections on w-bit values.
+func TestRotInverseProperty(t *testing.T) {
+	f := func(x uint64, wRaw uint8) bool {
+		w := int(wRaw%16) + 1
+		x &= Mask(w)
+		return RotRight(RotLeft(x, w), w) == x && RotLeft(RotRight(x, w), w) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Reverse is an involution.
+func TestReverseInvolution(t *testing.T) {
+	f := func(x uint64, wRaw uint8) bool {
+		w := int(wRaw%20) + 1
+		x &= Mask(w)
+		return Reverse(Reverse(x, w), w) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SwapBits is an involution and preserves the number of set bits.
+func TestSwapInvolution(t *testing.T) {
+	f := func(x uint64, iRaw, jRaw uint8) bool {
+		i, j := int(iRaw%16), int(jRaw%16)
+		return SwapBits(SwapBits(x, i, j), i, j) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InsertBit/DeleteBit round-trip at random positions.
+func TestInsertDeleteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		w := rng.Intn(20) + 1
+		x := rng.Uint64() & Mask(w)
+		i := rng.Intn(w + 1)
+		b := rng.Uint64() & 1
+		ins := InsertBit(x, i, b)
+		if DeleteBit(ins, i) != x {
+			t.Fatalf("round trip failed: x=%b i=%d b=%d", x, i, b)
+		}
+		// Deleting a bit then reinserting the deleted value restores x.
+		db, rest := ExtractBit(x, i%w)
+		if InsertBit(rest, i%w, db) != x {
+			t.Fatalf("extract/insert failed: x=%b i=%d", x, i%w)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package census exhaustively enumerates small MI-digraphs and counts
+// how the paper's properties partition them: valid graphs, Banyan
+// graphs, baseline-equivalent graphs, and the window-signature classes
+// of the Banyan-but-not-equivalent remainder. It quantifies how sharp
+// the characterization is — e.g. for n = 3, only a minority of Banyan
+// digraphs are equivalent to the Baseline.
+//
+// The enumeration space is the square of the set of valid connections
+// (6.35M graphs at n = 3), so the census shards the outer connection
+// across a worker pool and merges partial tallies over a channel.
+package census
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"minequiv/internal/midigraph"
+)
+
+// Connections enumerates every valid connection (f,g) on 2^m cells:
+// ordered child pairs such that every target cell has total indegree
+// exactly 2. The count for m bits is (2h)! / 2!^h arrangements of arc
+// endpoints — 6 for h = 2, 2520 for h = 4 — so this is only feasible for
+// m <= 2.
+func Connections(m int) [][2][]uint8 {
+	if m < 1 || m > 2 {
+		panic(fmt.Sprintf("census: connection enumeration limited to m in {1,2}, got %d", m))
+	}
+	h := 1 << uint(m)
+	var out [][2][]uint8
+	f := make([]uint8, h)
+	g := make([]uint8, h)
+	indeg := make([]int, h)
+	var rec func(slot int)
+	rec = func(slot int) {
+		if slot == 2*h {
+			cf := make([]uint8, h)
+			cg := make([]uint8, h)
+			copy(cf, f)
+			copy(cg, g)
+			out = append(out, [2][]uint8{cf, cg})
+			return
+		}
+		cell := slot / 2
+		for target := 0; target < h; target++ {
+			if indeg[target] == 2 {
+				continue
+			}
+			indeg[target]++
+			if slot%2 == 0 {
+				f[cell] = uint8(target)
+			} else {
+				g[cell] = uint8(target)
+			}
+			rec(slot + 1)
+			indeg[target]--
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Result tallies one census run.
+type Result struct {
+	N                int    // stages
+	Valid            uint64 // valid MI-digraphs enumerated
+	Banyan           uint64 // ... of which Banyan
+	Equivalent       uint64 // ... of which baseline-equivalent
+	BanyanNotEquiv   uint64 // Banyan minus equivalent
+	SignatureClasses int    // distinct all-window component signatures among Banyan graphs
+	// SignatureCounts maps each signature (as a printable key) to the
+	// number of Banyan graphs carrying it; the equivalent class is the
+	// one whose signature matches the Baseline.
+	SignatureCounts map[string]uint64
+}
+
+// signature serializes the all-window component counts of a graph.
+func signature(g *midigraph.Graph) string {
+	rs := g.CheckAllWindows()
+	b := make([]byte, 0, len(rs)*3)
+	for _, r := range rs {
+		b = append(b, byte('0'+r.I), byte('0'+r.J), ':')
+		b = append(b, []byte(fmt.Sprintf("%d,", r.Got))...)
+	}
+	return string(b)
+}
+
+// Run enumerates every n-stage MI-digraph whose connections come from
+// the valid-connection set and tallies the properties. Only n = 2 and
+// n = 3 are feasible (6 and ~6.35M graphs respectively). Workers <= 0
+// selects GOMAXPROCS.
+func Run(n int, workers int) (Result, error) {
+	if n != 2 && n != 3 {
+		return Result{}, fmt.Errorf("census: exhaustive run supports n in {2,3}, got %d", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := n - 1
+	conns := Connections(m)
+	res := Result{N: n, SignatureCounts: map[string]uint64{}}
+
+	if n == 2 {
+		for _, c := range conns {
+			g := graphFromConns(n, [][2][]uint8{c})
+			tally(&res, g)
+		}
+		res.finish()
+		return res, nil
+	}
+
+	// n == 3: shard the first connection across workers.
+	type partial struct {
+		valid, banyan, equivalent uint64
+		sigs                      map[string]uint64
+	}
+	jobs := make(chan int, workers)
+	parts := make(chan partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := partial{sigs: map[string]uint64{}}
+			for i := range jobs {
+				first := conns[i]
+				for _, second := range conns {
+					g := graphFromConns(n, [][2][]uint8{first, second})
+					p.valid++
+					banyan, _ := g.IsBanyan()
+					if !banyan {
+						continue
+					}
+					p.banyan++
+					sig := signature(g)
+					p.sigs[sig]++
+					if midigraph.AllOK(g.CheckPrefix()) && midigraph.AllOK(g.CheckSuffix()) {
+						p.equivalent++
+					}
+				}
+			}
+			parts <- p
+		}()
+	}
+	for i := range conns {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(parts)
+	for p := range parts {
+		res.Valid += p.valid
+		res.Banyan += p.banyan
+		res.Equivalent += p.equivalent
+		for k, v := range p.sigs {
+			res.SignatureCounts[k] += v
+		}
+	}
+	res.finish()
+	return res, nil
+}
+
+func tally(res *Result, g *midigraph.Graph) {
+	res.Valid++
+	banyan, _ := g.IsBanyan()
+	if !banyan {
+		return
+	}
+	res.Banyan++
+	res.SignatureCounts[signature(g)]++
+	if midigraph.AllOK(g.CheckPrefix()) && midigraph.AllOK(g.CheckSuffix()) {
+		res.Equivalent++
+	}
+}
+
+func (r *Result) finish() {
+	r.BanyanNotEquiv = r.Banyan - r.Equivalent
+	r.SignatureClasses = len(r.SignatureCounts)
+}
+
+func graphFromConns(n int, conns [][2][]uint8) *midigraph.Graph {
+	g := midigraph.New(n)
+	for s, c := range conns {
+		for x := range c[0] {
+			g.SetChildren(s, uint32(x), uint32(c[0][x]), uint32(c[1][x]))
+		}
+	}
+	return g
+}
+
+// TopSignatures returns the signature classes sorted by descending count
+// (ties by key), up to limit entries.
+func (r Result) TopSignatures(limit int) []struct {
+	Signature string
+	Count     uint64
+} {
+	type kv struct {
+		Signature string
+		Count     uint64
+	}
+	all := make([]kv, 0, len(r.SignatureCounts))
+	for k, v := range r.SignatureCounts {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Signature < all[j].Signature
+	})
+	if limit > len(all) {
+		limit = len(all)
+	}
+	out := make([]struct {
+		Signature string
+		Count     uint64
+	}, limit)
+	for i := 0; i < limit; i++ {
+		out[i] = struct {
+			Signature string
+			Count     uint64
+		}{all[i].Signature, all[i].Count}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package conn
+
+import (
+	"minequiv/internal/bitops"
+	"minequiv/internal/pipid"
+)
+
+// FromIndexPerm derives the cell-level connection induced by using the
+// PIPID permutation of theta (on n = m+1 link-label bits) as the
+// interconnection between two stages — the §4 construction. Cell x emits
+// outlinks (x,0) and (x,1); applying the link permutation and dropping
+// the port bit of the image yields the two children:
+//
+//	f(x) = A_theta(x<<1)   >> 1
+//	g(x) = A_theta(x<<1|1) >> 1
+//
+// When k = theta^{-1}(0) is nonzero, the port bit lands at position k of
+// the next link label, i.e. position k-1 of the child cell label, and
+// (f,g) differ exactly in that bit — the paper's explicit formula, with
+// beta(alpha) the theta-permutation of alpha's bits. When k = 0 the port
+// bit returns to the port position: f = g and the stage has double links
+// (Fig 5); the connection is still independent, but the graph it builds
+// can never be Banyan.
+func FromIndexPerm(theta pipid.IndexPerm) Connection {
+	n := theta.W()
+	m := n - 1
+	h := 1 << uint(m)
+	f := make([]uint32, h)
+	g := make([]uint32, h)
+	for x := 0; x < h; x++ {
+		f[x] = uint32(theta.Apply(uint64(x)<<1) >> 1)
+		g[x] = uint32(theta.Apply(uint64(x)<<1|1) >> 1)
+	}
+	return Connection{M: m, F: f, G: g}
+}
+
+// FromBPC derives the connection induced by a bit-permute-complement
+// link permutation. The complement mask only XORs constants into the
+// affine normal form, so independence is preserved — the natural
+// extension of the paper's §4 result, verified in tests.
+func FromBPC(b pipid.BPC) Connection {
+	n := b.Theta.W()
+	m := n - 1
+	h := 1 << uint(m)
+	f := make([]uint32, h)
+	g := make([]uint32, h)
+	for x := 0; x < h; x++ {
+		f[x] = uint32(b.Apply(uint64(x)<<1) >> 1)
+		g[x] = uint32(b.Apply(uint64(x)<<1|1) >> 1)
+	}
+	return Connection{M: m, F: f, G: g}
+}
+
+// PaperBeta computes the beta the paper's §4 derivation predicts for the
+// connection FromIndexPerm(theta) and translation alpha: writing the
+// n-bit link difference (alpha,0) = alpha<<1, beta is the cell part of
+// its theta-image:
+//
+//	beta = A_theta(alpha << 1) >> 1
+//
+// (the port-position bit of the image is zero because the inserted path
+// bit is unaffected by translations of x). Tests check Beta == PaperBeta
+// for every theta and alpha.
+func PaperBeta(theta pipid.IndexPerm, alpha uint64) uint64 {
+	return theta.Apply(alpha<<1) >> 1
+}
+
+// IndexPermDoubleLinks reports whether theta produces the degenerate
+// double-link stage, i.e. theta^{-1}(0) = 0.
+func IndexPermDoubleLinks(theta pipid.IndexPerm) bool {
+	return theta.PortSource() == 0
+}
+
+// PortDestination returns, for a non-degenerate theta, the cell-label
+// bit position k-1 where the switch's port choice lands in the child
+// label — the bit a destination-tag router controls at this stage.
+// The boolean is false in the degenerate k = 0 case.
+func PortDestination(theta pipid.IndexPerm) (int, bool) {
+	k := theta.PortSource()
+	if k == 0 {
+		return 0, false
+	}
+	return k - 1, true
+}
+
+// CellMaskOfLinkMask converts a BPC link-complement mask into its effect
+// on the child cell label (dropping the port bit).
+func CellMaskOfLinkMask(mask uint64) uint64 { return mask >> 1 }
+
+// Sanity helper used in tests: the paper's explicit child formula,
+// computed bit by bit rather than via link relabeling. For j != k-1 the
+// child's bit j is x_{theta(j+1)-1}; bit k-1 is the port choice.
+func paperChildFormula(theta pipid.IndexPerm, x uint64, port uint64) uint64 {
+	n := theta.W()
+	m := n - 1
+	var child uint64
+	for j := 0; j < m; j++ {
+		src := theta.Theta[j+1]
+		var bit uint64
+		if src == 0 {
+			bit = port
+		} else {
+			bit = bitops.Bit(x, src-1)
+		}
+		child |= bit << uint(j)
+	}
+	return child
+}

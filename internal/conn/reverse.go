@@ -1,0 +1,115 @@
+package conn
+
+import (
+	"fmt"
+
+	"minequiv/internal/gf2"
+)
+
+// Reverse implements Proposition 1 constructively: given an independent
+// connection (f,g) between stages V_i and V_{i+1}, it produces an
+// independent connection (phi,psi) describing the same arcs in the
+// reverse digraph (from V_{i+1} back to V_i).
+//
+// Case 1 (all vertices of type (f,g)): f and g are bijections and
+// (phi,psi) = (f^-1, g^-1).
+//
+// Case 2 (half (f,f), half (g,g)): the linear part M has a 1-dimensional
+// kernel spanned by alpha_1 with f(x^alpha_1) = f(x). Following the
+// proposition, split the domain into the index-subgroup A (a hyperplane
+// complementary to alpha_1) and its coset B = alpha_1 ^ A, and define
+// phi(y) as the unique parent of y in A and psi(y) as the one in B.
+//
+// Reverse returns an error when the connection is not independent or not
+// a valid MI-digraph connection (the proposition's hypotheses).
+func (c Connection) Reverse() (Connection, error) {
+	ar, ok := c.AffineForm()
+	if !ok {
+		return Connection{}, fmt.Errorf("conn: Reverse requires an independent connection")
+	}
+	if !c.IsValid() {
+		return Connection{}, fmt.Errorf("conn: Reverse requires a valid connection (all indegrees 2)")
+	}
+	h := c.H()
+	inv, invertible := ar.Mat.Inverse()
+	if invertible {
+		// Case 1: phi = f^{-1}: y -> M^{-1}(y ^ cf); psi likewise with cg.
+		phi := make([]uint32, h)
+		psi := make([]uint32, h)
+		for y := 0; y < h; y++ {
+			phi[y] = uint32(inv.Apply(uint64(y) ^ ar.Cf))
+			psi[y] = uint32(inv.Apply(uint64(y) ^ ar.Cg))
+		}
+		return New(c.M, phi, psi)
+	}
+	// Case 2. The kernel must be exactly one-dimensional: a valid
+	// independent connection with singular M has rank m-1 (otherwise the
+	// image cosets cannot cover every vertex twice).
+	kernel := ar.Mat.KernelBasis()
+	if len(kernel) != 1 {
+		return Connection{}, fmt.Errorf("conn: singular linear part with kernel dimension %d (invalid connection)", len(kernel))
+	}
+	alpha1 := kernel[0]
+	// lambda: a linear functional with <lambda, alpha1> = 1; membership
+	// in the hyperplane A is <lambda, x> == 0. Any single set bit of
+	// alpha1 works as lambda.
+	lambda := alpha1 & (^alpha1 + 1) // lowest set bit
+	phi := make([]uint32, h)
+	psi := make([]uint32, h)
+	// Each vertex y has exactly two parents {x, x^alpha1}; find them by
+	// inverting through either f or g depending on y's type.
+	parent := make([][2]uint32, h)
+	fill := make([]int, h)
+	for x := 0; x < h; x++ {
+		for _, y := range []uint32{c.F[x], c.G[x]} {
+			if fill[y] < 2 {
+				parent[y][fill[y]] = uint32(x)
+			}
+			fill[y]++
+		}
+	}
+	for y := 0; y < h; y++ {
+		a, b := parent[y][0], parent[y][1]
+		if gf2.Dot(lambda, uint64(a)) != 0 {
+			a, b = b, a
+		}
+		// Now a in A, b in B.
+		if gf2.Dot(lambda, uint64(a)) != 0 || gf2.Dot(lambda, uint64(b)) != 1 {
+			return Connection{}, fmt.Errorf("conn: parents of %d not split by the hyperplane (connection not independent?)", y)
+		}
+		phi[y] = a
+		psi[y] = b
+	}
+	return New(c.M, phi, psi)
+}
+
+// ReverseArcsMatch verifies that rev describes exactly the reversed arc
+// multiset of c: for every x, arcs x->f(x), x->g(x) of c appear as
+// arcs y->x of rev, with the same multiplicities. Used by tests and the
+// Proposition 1 experiment.
+func ReverseArcsMatch(c, rev Connection) bool {
+	if c.M != rev.M {
+		return false
+	}
+	h := c.H()
+	type arc struct{ from, to uint32 }
+	fwd := map[arc]int{}
+	for x := 0; x < h; x++ {
+		fwd[arc{uint32(x), c.F[x]}]++
+		fwd[arc{uint32(x), c.G[x]}]++
+	}
+	bwd := map[arc]int{}
+	for y := 0; y < h; y++ {
+		bwd[arc{rev.F[y], uint32(y)}]++
+		bwd[arc{rev.G[y], uint32(y)}]++
+	}
+	if len(fwd) != len(bwd) {
+		return false
+	}
+	for a, n := range fwd {
+		if bwd[a] != n {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package equiv
+
+import (
+	"fmt"
+
+	"minequiv/internal/midigraph"
+	"minequiv/internal/perm"
+	"minequiv/internal/topology"
+)
+
+// NotEquivalentError reports a failed characterization check, carrying
+// the full report for diagnosis.
+type NotEquivalentError struct {
+	Report Report
+}
+
+func (e *NotEquivalentError) Error() string {
+	return "equiv: graph is not baseline-equivalent:\n" + e.Report.String()
+}
+
+// IsoToBaseline checks the characterization and, when it holds, returns
+// an explicit isomorphism from g onto topology.Baseline(n).
+//
+// The construction mirrors how the Baseline's own labels encode its
+// window components (DESIGN.md §5.4):
+//
+//   - the SUFFIX windows (stages b..n-1) form a binary refinement
+//     hierarchy whose splits reveal, for every node of stages > b, the
+//     label bit m-1-b (top field);
+//   - the PREFIX windows (stages 0..e) form the complementary hierarchy
+//     whose splits reveal, for every node of stage s < e, the label bit
+//     e-1-s (low field).
+//
+// Each split makes an arbitrary 0/1 side choice; in the Baseline every
+// such choice corresponds to an automorphism, so any choice yields a
+// valid isomorphism. The result is verified before being returned; if
+// verification fails (never observed on graphs passing the check, and
+// believed impossible) the exact oracle is consulted for small n.
+func IsoToBaseline(g *midigraph.Graph) (Isomorphism, error) {
+	report := Check(g)
+	if !report.Equivalent() {
+		return Isomorphism{}, &NotEquivalentError{Report: report}
+	}
+	n := g.Stages()
+	h := g.CellsPerStage()
+	if n == 1 {
+		return Identity(1, 1), nil
+	}
+	base := topology.Baseline(n)
+
+	labels, err := hierarchicalLabels(g)
+	if err == nil {
+		iso, buildErr := labelsToIso(labels, n, h)
+		if buildErr == nil {
+			if verr := iso.Verify(g, base); verr == nil {
+				return iso, nil
+			}
+		}
+	}
+	// Defensive fallback; exercised only by tests that feed adversarial
+	// graphs directly to the labeler.
+	if n <= OracleMaxStages {
+		if iso, ok := FindIsomorphism(g, base); ok {
+			return iso, nil
+		}
+	}
+	return Isomorphism{}, fmt.Errorf("equiv: hierarchical labeling failed (%v) and oracle unavailable for n=%d", err, n)
+}
+
+// hierarchicalLabels computes the per-node Baseline labels from the two
+// window-component hierarchies.
+func hierarchicalLabels(g *midigraph.Graph) ([][]uint64, error) {
+	n := g.Stages()
+	h := g.CellsPerStage()
+	m := g.LabelBits()
+	labels := make([][]uint64, n)
+	for s := range labels {
+		labels[s] = make([]uint64, h)
+	}
+
+	// Suffix hierarchy: S_b = window (b .. n-1). Splitting S_b into
+	// S_{b+1} assigns bit m-1-b to every node of stages b+1..n-1.
+	prevIDs, _ := g.Components(0, n-1) // S_0
+	for b := 0; b < n-1; b++ {
+		curIDs, _ := g.Components(b+1, n-1) // S_{b+1}
+		// side[parentComp][childComp] in {0,1}, at most two children.
+		side, err := splitSides(prevIDs[1:], curIDs)
+		if err != nil {
+			return nil, fmt.Errorf("suffix window %d: %w", b, err)
+		}
+		bit := uint(m - 1 - b)
+		for t := range curIDs { // t indexes stages b+1..n-1
+			s := b + 1 + t
+			for x := 0; x < h; x++ {
+				parent := prevIDs[t+1][x]
+				child := curIDs[t][x]
+				labels[s][x] |= uint64(side[pairKey{parent, child}]) << bit
+			}
+		}
+		prevIDs = curIDs
+	}
+
+	// Prefix hierarchy: W_e = window (0 .. e). Splitting W_e into
+	// W_{e-1} assigns bit e-1-s to every node of stage s <= e-1.
+	prevIDs, _ = g.Components(0, n-1) // W_{n-1}
+	for e := n - 1; e >= 1; e-- {
+		curIDs, _ := g.Components(0, e-1) // W_{e-1}
+		side, err := splitSides(prevIDs[:e], curIDs)
+		if err != nil {
+			return nil, fmt.Errorf("prefix window %d: %w", e, err)
+		}
+		for s := 0; s <= e-1; s++ {
+			bit := uint(e - 1 - s)
+			for x := 0; x < h; x++ {
+				parent := prevIDs[s][x]
+				child := curIDs[s][x]
+				labels[s][x] |= uint64(side[pairKey{parent, child}]) << bit
+			}
+		}
+		prevIDs = curIDs
+	}
+	return labels, nil
+}
+
+type pairKey struct{ parent, child int32 }
+
+// splitSides maps each (parent component, child component) incidence to
+// a side bit 0 or 1, requiring every parent component to split into
+// exactly two child components. parentIDs and childIDs cover the same
+// stages in the same order.
+func splitSides(parentIDs, childIDs [][]int32) (map[pairKey]int, error) {
+	if len(parentIDs) != len(childIDs) {
+		return nil, fmt.Errorf("equiv: stage slices differ (%d vs %d)", len(parentIDs), len(childIDs))
+	}
+	children := map[int32][]int32{} // parent -> distinct child ids in first-seen order
+	for t := range parentIDs {
+		for x := range parentIDs[t] {
+			p, c := parentIDs[t][x], childIDs[t][x]
+			list := children[p]
+			known := false
+			for _, cc := range list {
+				if cc == c {
+					known = true
+					break
+				}
+			}
+			if !known {
+				if len(list) == 2 {
+					return nil, fmt.Errorf("equiv: component %d splits into more than two parts", p)
+				}
+				children[p] = append(list, c)
+			}
+		}
+	}
+	side := make(map[pairKey]int)
+	for p, list := range children {
+		if len(list) != 2 {
+			return nil, fmt.Errorf("equiv: component %d splits into %d parts, want 2", p, len(list))
+		}
+		side[pairKey{p, list[0]}] = 0
+		side[pairKey{p, list[1]}] = 1
+	}
+	return side, nil
+}
+
+// labelsToIso validates that each stage's labels are a bijection and
+// packages them as an Isomorphism.
+func labelsToIso(labels [][]uint64, n, h int) (Isomorphism, error) {
+	maps := make([]perm.Perm, n)
+	for s := 0; s < n; s++ {
+		p := make(perm.Perm, h)
+		copy(p, labels[s])
+		if err := p.Validate(); err != nil {
+			return Isomorphism{}, fmt.Errorf("equiv: stage %d labels not a bijection: %w", s, err)
+		}
+		maps[s] = p
+	}
+	return Isomorphism{Maps: maps}, nil
+}
+
+// IsoBetween returns an explicit isomorphism between two baseline-
+// equivalent graphs by composing their isomorphisms through Baseline.
+func IsoBetween(g, h *midigraph.Graph) (Isomorphism, error) {
+	if g.Stages() != h.Stages() {
+		return Isomorphism{}, fmt.Errorf("equiv: stage counts differ (%d vs %d)", g.Stages(), h.Stages())
+	}
+	ig, err := IsoToBaseline(g)
+	if err != nil {
+		return Isomorphism{}, err
+	}
+	ih, err := IsoToBaseline(h)
+	if err != nil {
+		return Isomorphism{}, err
+	}
+	iso := ig.Compose(ih.Inverse())
+	if err := iso.Verify(g, h); err != nil {
+		return Isomorphism{}, fmt.Errorf("equiv: composed isomorphism failed verification: %w", err)
+	}
+	return iso, nil
+}

@@ -1,0 +1,154 @@
+package equiv
+
+import (
+	"minequiv/internal/midigraph"
+	"minequiv/internal/perm"
+)
+
+// OracleMaxStages bounds the instance size accepted by FindIsomorphism;
+// the search is exponential in the worst case and exists to provide
+// ground truth for small instances, not to scale.
+const OracleMaxStages = 6
+
+// FindIsomorphism searches exhaustively (backtracking with forward arc
+// consistency) for a stage-respecting isomorphism from g onto h. It
+// returns the isomorphism and true when one exists. Both graphs must
+// have the same (small) stage count.
+//
+// Node assignment order is stage-major; a stage-s node's candidates are
+// restricted by its already-assigned parents' images, which keeps the
+// branching factor near 2 after the first stage.
+func FindIsomorphism(g, h *midigraph.Graph) (Isomorphism, bool) {
+	if g.Stages() != h.Stages() || g.Stages() > OracleMaxStages {
+		return Isomorphism{}, false
+	}
+	n := g.Stages()
+	hh := g.CellsPerStage()
+
+	// Quick necessary invariants: sorted degree-pattern of parallel arcs
+	// per stage.
+	for s := 0; s < n-1; s++ {
+		gp, hp := 0, 0
+		for x := 0; x < hh; x++ {
+			gf, gg := g.Children(s, uint32(x))
+			if gf == gg {
+				gp++
+			}
+			hf, hg := h.Children(s, uint32(x))
+			if hf == hg {
+				hp++
+			}
+		}
+		if gp != hp {
+			return Isomorphism{}, false
+		}
+	}
+
+	// Precompute parent tables of g for constraint propagation.
+	gParents := make([][][2]uint32, n)
+	hParents := make([][][2]uint32, n)
+	for s := 1; s < n; s++ {
+		gParents[s] = g.ParentTable(s)
+		hParents[s] = h.ParentTable(s)
+	}
+
+	const unset = ^uint32(0)
+	phi := make([][]uint32, n) // phi[s][x] image or unset
+	used := make([][]bool, n)  // used[s][y] image taken
+	for s := 0; s < n; s++ {
+		phi[s] = make([]uint32, hh)
+		used[s] = make([]bool, hh)
+		for x := range phi[s] {
+			phi[s][x] = unset
+		}
+	}
+
+	// candidatesFor lists the possible images of node (s, x) given the
+	// current partial assignment.
+	candidatesFor := func(s int, x uint32) []uint32 {
+		if s == 0 {
+			out := make([]uint32, 0, hh)
+			for y := 0; y < hh; y++ {
+				if !used[0][y] {
+					out = append(out, uint32(y))
+				}
+			}
+			return out
+		}
+		// Parents of x in g are already assigned (stage-major order).
+		// The image must receive, from each mapped parent, exactly the
+		// arc multiplicity that x receives from that parent; since total
+		// indegree is 2 on both sides, this makes x's in-arcs fully
+		// consistent, so a complete assignment is always a genuine
+		// isomorphism.
+		mult := func(gr *midigraph.Graph, st int, from, to uint32) int {
+			f, c := gr.Children(st, from)
+			n := 0
+			if f == to {
+				n++
+			}
+			if c == to {
+				n++
+			}
+			return n
+		}
+		p := gParents[s][x]
+		img0 := phi[s-1][p[0]]
+		img1 := phi[s-1][p[1]]
+		hf, hg := h.Children(s-1, img0)
+		var out []uint32
+		for _, cand := range []uint32{hf, hg} {
+			if len(out) == 1 && out[0] == cand {
+				continue // parallel arc: same candidate twice
+			}
+			if used[s][cand] {
+				continue
+			}
+			if mult(g, s-1, p[0], x) != mult(h, s-1, img0, cand) {
+				continue
+			}
+			if mult(g, s-1, p[1], x) != mult(h, s-1, img1, cand) {
+				continue
+			}
+			out = append(out, cand)
+		}
+		return out
+	}
+
+	var rec func(idx int) bool
+	rec = func(idx int) bool {
+		if idx == n*hh {
+			return true
+		}
+		s := idx / hh
+		x := uint32(idx % hh)
+		for _, cand := range candidatesFor(s, x) {
+			phi[s][x] = cand
+			used[s][cand] = true
+			if rec(idx + 1) {
+				return true
+			}
+			phi[s][x] = unset
+			used[s][cand] = false
+		}
+		return false
+	}
+
+	if !rec(0) {
+		return Isomorphism{}, false
+	}
+	maps := make([]perm.Perm, n)
+	for s := 0; s < n; s++ {
+		maps[s] = make(perm.Perm, hh)
+		for x := 0; x < hh; x++ {
+			maps[s][x] = uint64(phi[s][x])
+		}
+	}
+	iso := Isomorphism{Maps: maps}
+	if err := iso.Verify(g, h); err != nil {
+		// The search invariantly produces arc-consistent assignments; a
+		// failure here would be a bug, surfaced loudly in tests.
+		return Isomorphism{}, false
+	}
+	return iso, true
+}

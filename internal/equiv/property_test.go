@@ -1,0 +1,99 @@
+package equiv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minequiv/internal/randnet"
+	"minequiv/internal/topology"
+)
+
+// Property (testing/quick): for random seeds, a scrambled classical
+// network still canonicalizes onto the Baseline and the composed
+// isomorphism verifies. This exercises the whole positive pipeline.
+func TestQuickScrambleCanonicalize(t *testing.T) {
+	names := topology.Names()
+	f := func(seed int64, nRaw, nameRaw uint8) bool {
+		n := int(nRaw%5) + 2 // 2..6
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.MustBuild(names[int(nameRaw)%len(names)], n).Graph
+		sg, _ := randnet.Scramble(rng, g)
+		iso, err := IsoToBaseline(sg)
+		if err != nil {
+			return false
+		}
+		return iso.Verify(sg, topology.Baseline(n)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): IsoBetween is symmetric — the inverse of the
+// returned isomorphism verifies in the opposite direction.
+func TestQuickIsoBetweenSymmetric(t *testing.T) {
+	names := topology.Names()
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		n := 4
+		a := topology.MustBuild(names[int(aRaw)%len(names)], n).Graph
+		b := topology.MustBuild(names[int(bRaw)%len(names)], n).Graph
+		iso, err := IsoBetween(a, b)
+		if err != nil {
+			return false
+		}
+		return iso.Inverse().Verify(b, a) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Check never panics and is consistent on arbitrary valid
+// graphs (the predicate equals the conjunction of its parts).
+func TestQuickCheckConsistency(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := randnet.RandomValidGraph(rng, n)
+		r := Check(g)
+		banyan, _ := g.IsBanyan()
+		if r.Banyan != banyan {
+			return false
+		}
+		want := banyan
+		for _, wr := range r.Prefix {
+			if !wr.OK() {
+				want = false
+			}
+		}
+		for _, wr := range r.Suffix {
+			if !wr.OK() {
+				want = false
+			}
+		}
+		return r.Equivalent() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random valid graphs that happen to pass the characterization
+// must admit a verified isomorphism (the theorem, fuzz-style); those
+// that do not must be rejected by IsoToBaseline.
+func TestQuickTheoremOnRandomGraphs(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%4) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := randnet.RandomValidGraph(rng, n)
+		iso, err := IsoToBaseline(g)
+		if IsBaselineEquivalent(g) {
+			return err == nil && iso.Verify(g, topology.Baseline(n)) == nil
+		}
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Package experiments regenerates every figure and every proved claim of
+// the paper as a reproducible experiment with printed tables. The IDs
+// match DESIGN.md §4 and EXPERIMENTS.md: F1-F5 are the paper's figures,
+// T1-T10 the theorem reproductions and the substituted system-level
+// evaluations.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+// All returns the registry of experiments in ID order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"F1", "Fig 1: Baseline network and its MI-digraph (N=16)", RunF1},
+		{"F2", "Fig 2: labeling of an MI-digraph", RunF2},
+		{"F3", "Fig 3: Lemma 2 component construction", RunF3},
+		{"F4", "Fig 4: link labels and a PIPID permutation stage", RunF4},
+		{"F5", "Fig 5: degenerate stage with theta^-1(0) = 0", RunF5},
+		{"T1", "Six classical networks are baseline-equivalent (Wu-Feng)", RunT1},
+		{"T2", "Proposition 1: reverse of an independent connection", RunT2},
+		{"T3", "Lemma 2: P(*,n) on random independent Banyans", RunT3},
+		{"T4", "Theorem 3: explicit isomorphism to Baseline", RunT4},
+		{"T5", "Section 4: PIPID implies independent connection", RunT5},
+		{"T6", "Counterexamples: Banyan but not baseline-equivalent", RunT6},
+		{"T7", "System substrate: packet simulation of equivalent networks", RunT7},
+		{"T8", "Section 4: bit-directed routing on PIPID networks", RunT8},
+		{"T9", "Ablation: independence check, definition vs affine form", RunT9},
+		{"T10", "Scaling: characterization check cost versus n", RunT10},
+		{"T11", "Extension: the automorphism group of the Baseline", RunT11},
+		{"T12", "Extension: simulator versus analytic blocking recurrence", RunT12},
+		{"T13", "Extension: exhaustive census of small MI-digraphs", RunT13},
+		{"T14", "Extension: Agrawal buddy property is not sufficient ([8] vs [10])", RunT14},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in sequence with headers.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := RunOne(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment with its banner.
+func RunOne(w io.Writer, e Experiment) error {
+	fmt.Fprintf(w, "==================================================================\n")
+	fmt.Fprintf(w, "%s  %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "==================================================================\n")
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	exps := All()
+	if len(exps) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("T1"); !ok {
+		t.Error("ByID(T1) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) succeeded")
+	}
+}
+
+func runExp(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	var buf bytes.Buffer
+	if err := RunOne(&buf, e); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestF1(t *testing.T) {
+	out := runExp(t, "F1")
+	for _, want := range []string{"Baseline network, n = 4", "banyan: true", "P(i,j)", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F1 missing %q", want)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Error("F1 reports violations for baseline")
+	}
+}
+
+func TestF2(t *testing.T) {
+	out := runExp(t, "F2")
+	if !strings.Contains(out, "(0,0,0)") || !strings.Contains(out, "(1,1,1)") {
+		t.Errorf("F2 missing tuple labels:\n%s", out)
+	}
+}
+
+func TestF3(t *testing.T) {
+	out := runExp(t, "F3")
+	if !strings.Contains(out, "random independent Banyan") {
+		t.Error("F3 missing random section")
+	}
+	if !strings.Contains(out, "window (2..5)") {
+		t.Error("F3 missing window header")
+	}
+}
+
+func TestF4(t *testing.T) {
+	out := runExp(t, "F4")
+	for _, want := range []string{"perfect shuffle", "independent: true", "theta^-1(0) = 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF5(t *testing.T) {
+	out := runExp(t, "F5")
+	for _, want := range []string{"theta^-1(0) = 0", "parallel arcs: true", "banyan: false", "baseline-equivalent: false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT1(t *testing.T) {
+	out := runExp(t, "T1")
+	if strings.Contains(out, "0") && strings.Contains(out, " 0   ") {
+		// A zero anywhere in the matrix body would mean a failed pair;
+		// check more precisely: no line may contain " 0 " after the name
+		// column... simplest: the string " 0   " must not appear.
+		t.Errorf("T1 matrix contains a failure:\n%s", out)
+	}
+	if !strings.Contains(out, "n=8") {
+		t.Error("T1 missing the n=8 sweep")
+	}
+}
+
+func TestT2(t *testing.T) {
+	out := runExp(t, "T2")
+	if !strings.Contains(out, "(f,f)/(g,g)") {
+		t.Error("T2 missing case-2 rows")
+	}
+	// All counts must equal the trial count 50.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "(f,g)") || strings.Contains(line, "(f,f)/(g,g)") {
+			if !strings.Contains(line, "50") {
+				t.Errorf("T2 row with missing verification: %q", line)
+			}
+		}
+	}
+}
+
+func TestT3(t *testing.T) {
+	out := runExp(t, "T3")
+	lines := strings.Split(out, "\n")
+	dataLines := 0
+	for _, l := range lines {
+		f := strings.Fields(l)
+		if len(f) == 4 && f[1] == "10" {
+			dataLines++
+			if f[2] != "10" || f[3] != "10" {
+				t.Errorf("T3 violation row: %q", l)
+			}
+		}
+	}
+	if dataLines < 8 {
+		t.Errorf("T3 produced %d data rows", dataLines)
+	}
+}
+
+func TestT4(t *testing.T) {
+	out := runExp(t, "T4")
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) == 4 && f[1] == "5" && f[2] != "5" {
+			t.Errorf("T4 unverified isomorphism row: %q", l)
+		}
+	}
+}
+
+func TestT5(t *testing.T) {
+	out := runExp(t, "T5")
+	// n=4: 24 thetas, all independent, 6 double-link ((n-1)!).
+	if !strings.Contains(out, "24") {
+		t.Error("T5 missing n=4 row")
+	}
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) == 5 && f[0] == "4" {
+			if f[1] != "24" || f[2] != "24" || f[3] != "6" || f[4] != "24" {
+				t.Errorf("T5 n=4 row wrong: %q", l)
+			}
+		}
+	}
+}
+
+func TestT6(t *testing.T) {
+	out := runExp(t, "T6")
+	for _, want := range []string{"tail-cycle", "head-cycle", "confirmed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T6 missing %q", want)
+		}
+	}
+	if strings.Contains(out, "ISO FOUND") {
+		t.Error("T6 oracle found an impossible isomorphism")
+	}
+}
+
+func TestT7(t *testing.T) {
+	out := runExp(t, "T7")
+	for _, want := range []string{"unbuffered wave model", "buffered model", "tail-cycle (non-equiv)", "omega"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T7 missing %q", want)
+		}
+	}
+}
+
+func TestT8(t *testing.T) {
+	out := runExp(t, "T8")
+	for _, want := range []string{"destination-tag positions", "1024", "4096", "40320"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T8 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT9(t *testing.T) {
+	out := runExp(t, "T9")
+	if !strings.Contains(out, "speedup") {
+		t.Error("T9 missing speedup column")
+	}
+}
+
+func TestT10(t *testing.T) {
+	out := runExp(t, "T10")
+	if !strings.Contains(out, "check time") {
+		t.Error("T10 missing check column")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(buf.String(), e.Title) {
+			t.Errorf("RunAll output missing %s", e.ID)
+		}
+	}
+}
+
+func TestT11(t *testing.T) {
+	out := runExp(t, "T11")
+	for _, want := range []string{"|Aut| counted", "16384", "true", "tail-cycle", " 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T11 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Error("T11 has a formula mismatch")
+	}
+}
+
+func TestT12(t *testing.T) {
+	out := runExp(t, "T12")
+	if !strings.Contains(out, "analytic") || !strings.Contains(out, "offered-load sweep") {
+		t.Errorf("T12 malformed:\n%s", out)
+	}
+}
+
+func TestT13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("census is a few seconds")
+	}
+	out := runExp(t, "T13")
+	for _, want := range []string{"n=2 exhaustive census", "banyan", "6350400", "signature classes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T13 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT14(t *testing.T) {
+	out := runExp(t, "T14")
+	for _, want := range []string{"buddy-twist", "P(2,4)", "refutation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T14 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"minequiv/internal/conn"
+	"minequiv/internal/equiv"
+	"minequiv/internal/perm"
+	"minequiv/internal/randnet"
+	"minequiv/internal/route"
+	"minequiv/internal/sim"
+	"minequiv/internal/topology"
+)
+
+// RunT7 is the substituted system evaluation: packet-level simulation of
+// the six equivalent networks and the non-equivalent tail-cycle Banyan,
+// under uniform, hot-spot and buffered Bernoulli traffic.
+func RunT7(w io.Writer) error {
+	n := 6
+	const waves = 300
+	type target struct {
+		name  string
+		perms []perm.Perm
+	}
+	var targets []target
+	for _, name := range topology.Names() {
+		nw := topology.MustBuild(name, n)
+		targets = append(targets, target{nw.Name, nw.LinkPerms})
+	}
+	tailPerms, err := randnet.TailCycleLinkPerms(n)
+	if err != nil {
+		return err
+	}
+	targets = append(targets, target{"tail-cycle (non-equiv)", tailPerms})
+
+	fmt.Fprintf(w, "unbuffered wave model, n=%d (N=%d), %d waves per cell\n", n, 1<<uint(n), waves)
+	fmt.Fprintf(w, "%-26s %-12s %-12s %-12s\n", "network", "uniform", "hotspot50%", "bitreversal")
+	for _, tg := range targets {
+		f, err := sim.NewFabric(tg.perms)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(42))
+		uni, err := f.Throughput(sim.Uniform(), waves, rng)
+		if err != nil {
+			return err
+		}
+		hot, err := f.Throughput(sim.HotSpot(0, 0.5), waves, rng)
+		if err != nil {
+			return err
+		}
+		rev, err := f.Throughput(sim.BitReversal(), waves, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-26s %-12.4f %-12.4f %-12.4f\n", tg.name, uni, hot, rev)
+	}
+
+	fmt.Fprintf(w, "\nbuffered model (queue 4, load 0.6, 2000 cycles + 200 warmup)\n")
+	fmt.Fprintf(w, "%-26s %-12s %-14s %-10s\n", "network", "throughput", "mean latency", "rejected")
+	for _, tg := range targets {
+		f, err := sim.NewFabric(tg.perms)
+		if err != nil {
+			return err
+		}
+		res, err := f.RunBuffered(sim.BufferedConfig{
+			Load: 0.6, Queue: 4, Cycles: 2000, Warmup: 200,
+		}, rand.New(rand.NewSource(43)))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-26s %-12.4f %-14.2f %-10d\n", tg.name, res.Throughput, res.MeanLatency, res.Rejected)
+	}
+	fmt.Fprintf(w, "prediction: the six equivalent networks agree within sampling noise;\n")
+	fmt.Fprintf(w, "uniform throughput tracks the banyan blocking recursion, far below 1.\n")
+	return nil
+}
+
+// RunT8 reproduces the "very simple bit directed routing" claim: tag
+// positions per network, all-pairs routing verification, and the
+// 2^(#switches) admissible-permutation law.
+func RunT8(w io.Writer) error {
+	n := 5
+	fmt.Fprintf(w, "destination-tag positions per stage (n=%d):\n", n)
+	fmt.Fprintf(w, "%-28s %s\n", "network", "bit consumed at stage 1..n")
+	for _, name := range topology.Names() {
+		nw := topology.MustBuild(name, n)
+		r, err := route.NewRouter(nw.IndexPerms)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-28s %v\n", name, r.TagPositions())
+	}
+	fmt.Fprintf(w, "\nall-pairs unique-path verification (N^2 routes):\n")
+	fmt.Fprintf(w, "%-28s %-8s %-10s\n", "network", "pairs", "status")
+	for _, name := range topology.Names() {
+		nw := topology.MustBuild(name, n)
+		r, err := route.NewRouter(nw.IndexPerms)
+		if err != nil {
+			return err
+		}
+		pairs, err := r.VerifyAllPairs()
+		status := "ok"
+		if err != nil {
+			status = err.Error()
+		}
+		fmt.Fprintf(w, "%-28s %-8d %-10s\n", name, pairs, status)
+	}
+	fmt.Fprintf(w, "\nadmissible permutations (exhaustive, N=8): expect 2^12 = 4096 of 8! = 40320\n")
+	fmt.Fprintf(w, "%-28s %-12s %-12s\n", "network", "admissible", "total")
+	for _, name := range topology.Names() {
+		nw := topology.MustBuild(name, 3)
+		r, err := route.NewRouter(nw.IndexPerms)
+		if err != nil {
+			return err
+		}
+		adm, total, err := r.CountAdmissible()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-28s %-12d %-12d\n", name, adm, total)
+	}
+	return nil
+}
+
+// RunT9 is the ablation of the independence decision procedure: the
+// O(4^m) definition versus the O(2^m * m) affine inference.
+func RunT9(w io.Writer) error {
+	rng := rand.New(rand.NewSource(91))
+	fmt.Fprintf(w, "%-6s %-10s %-14s %-14s %-10s\n", "m", "cells", "definition", "affine form", "speedup")
+	for m := 4; m <= 12; m++ {
+		c := conn.RandomIndependent(rng, m, true)
+		const reps = 3
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if !c.IsIndependentDef() {
+				return fmt.Errorf("definition check failed")
+			}
+		}
+		tDef := time.Since(start) / reps
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			if !c.IsIndependent() {
+				return fmt.Errorf("fast check failed")
+			}
+		}
+		tFast := time.Since(start) / reps
+		speed := float64(tDef) / float64(max64(int64(tFast), 1))
+		fmt.Fprintf(w, "%-6d %-10d %-14v %-14v %-10.1fx\n", m, c.H(), tDef, tFast, speed)
+	}
+	fmt.Fprintf(w, "prediction: speedup grows roughly like 2^m / m.\n")
+	return nil
+}
+
+// RunT10 scales the characterization check and the isomorphism
+// construction over n.
+func RunT10(w io.Writer) error {
+	fmt.Fprintf(w, "%-6s %-10s %-16s %-16s\n", "n", "cells", "check time", "iso time")
+	for n := 4; n <= 14; n += 2 {
+		g := topology.MustBuild(topology.NameOmega, n).Graph
+		start := time.Now()
+		rep := equiv.Check(g)
+		tCheck := time.Since(start)
+		if !rep.Equivalent() {
+			return fmt.Errorf("omega n=%d rejected", n)
+		}
+		var tIso time.Duration
+		if n <= 12 {
+			start = time.Now()
+			if _, err := equiv.IsoToBaseline(g); err != nil {
+				return err
+			}
+			tIso = time.Since(start)
+		}
+		fmt.Fprintf(w, "%-6d %-10d %-16v %-16v\n", n, g.CellsPerStage(), tCheck, tIso)
+	}
+	fmt.Fprintf(w, "the Banyan path-count check dominates: O(n * h^2).\n")
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

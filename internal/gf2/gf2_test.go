@@ -1,0 +1,389 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minequiv/internal/bitops"
+)
+
+func TestDot(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0}, {1, 1, 1}, {0b11, 0b01, 1}, {0b11, 0b11, 0},
+		{0b101, 0b111, 0}, {0b1011, 0b0110, 1},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); got != c.want {
+			t.Errorf("Dot(%b,%b) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIdentityApply(t *testing.T) {
+	id := Identity(6)
+	for x := uint64(0); x < 64; x++ {
+		if id.Apply(x) != x {
+			t.Fatalf("Identity.Apply(%d) != %d", x, x)
+		}
+	}
+	if !id.Invertible() || id.Rank() != 6 {
+		t.Error("identity not invertible / wrong rank")
+	}
+}
+
+func TestMatrixGetSet(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(1, 2, 1)
+	m.Set(2, 3, 1)
+	if m.Get(1, 2) != 1 || m.Get(2, 3) != 1 || m.Get(0, 0) != 0 {
+		t.Error("Get/Set mismatch")
+	}
+	m.Set(1, 2, 0)
+	if m.Get(1, 2) != 0 {
+		t.Error("Set to 0 failed")
+	}
+	if m.NumRows() != 3 || m.Cols != 4 {
+		t.Error("shape wrong")
+	}
+}
+
+func TestMulAssociativeAndIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := rng.Intn(10) + 1
+		a := RandomMatrix(rng, k)
+		b := RandomMatrix(rng, k)
+		c := RandomMatrix(rng, k)
+		if !a.Mul(b.Mul(c)).Equal(a.Mul(b).Mul(c)) {
+			t.Fatalf("k=%d: (ab)c != a(bc)", k)
+		}
+		if !a.Mul(Identity(k)).Equal(a) || !Identity(k).Mul(a).Equal(a) {
+			t.Fatalf("k=%d: identity law fails", k)
+		}
+		// Mul agrees with composed Apply.
+		x := rng.Uint64() & bitops.Mask(k)
+		if a.Mul(b).Apply(x) != a.Apply(b.Apply(x)) {
+			t.Fatalf("k=%d: (ab)x != a(bx)", k)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		k := rng.Intn(12) + 1
+		m := RandomMatrix(rng, k)
+		if !m.Transpose().Transpose().Equal(m) {
+			t.Fatal("transpose not involutive")
+		}
+		if m.Transpose().Rank() != m.Rank() {
+			t.Fatal("rank(m^T) != rank(m)")
+		}
+	}
+}
+
+func TestRankKnown(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Rows[0] = 0b011
+	m.Rows[1] = 0b110
+	m.Rows[2] = 0b101 // = row0 ^ row1
+	if got := m.Rank(); got != 2 {
+		t.Errorf("Rank = %d, want 2", got)
+	}
+	if m.Invertible() {
+		t.Error("singular matrix reported invertible")
+	}
+	z := NewMatrix(4, 4)
+	if z.Rank() != 0 {
+		t.Error("zero matrix rank != 0")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		k := rng.Intn(14) + 1
+		m := RandomInvertible(rng, k)
+		inv, ok := m.Inverse()
+		if !ok {
+			t.Fatalf("k=%d: invertible matrix failed to invert", k)
+		}
+		if !m.Mul(inv).Equal(Identity(k)) || !inv.Mul(m).Equal(Identity(k)) {
+			t.Fatalf("k=%d: m * m^-1 != I", k)
+		}
+	}
+	// Singular matrices must be rejected.
+	m := NewMatrix(2, 2)
+	m.Rows[0] = 0b11
+	m.Rows[1] = 0b11
+	if _, ok := m.Inverse(); ok {
+		t.Error("singular matrix inverted")
+	}
+	// Non-square matrices must be rejected.
+	if _, ok := NewMatrix(2, 3).Inverse(); ok {
+		t.Error("non-square matrix inverted")
+	}
+}
+
+func TestInverseWide(t *testing.T) {
+	// Force the wide path (2k > 64) with k = 40.
+	rng := rand.New(rand.NewSource(10))
+	m := RandomInvertible(rng, 40)
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("wide inverse failed")
+	}
+	if !m.Mul(inv).Equal(Identity(40)) {
+		t.Fatal("wide m * m^-1 != I")
+	}
+}
+
+func TestKernelBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		k := rng.Intn(10) + 1
+		m := RandomMatrix(rng, k)
+		basis := m.KernelBasis()
+		if len(basis)+m.Rank() != k {
+			t.Fatalf("rank-nullity violated: dim %d, rank %d, nullity %d",
+				k, m.Rank(), len(basis))
+		}
+		for _, v := range basis {
+			if m.Apply(v) != 0 {
+				t.Fatalf("kernel vector %b not in kernel", v)
+			}
+			if v == 0 {
+				t.Fatal("zero vector in kernel basis")
+			}
+		}
+		if SpanDim(basis) != len(basis) {
+			t.Fatal("kernel basis not independent")
+		}
+	}
+}
+
+func TestSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 80; trial++ {
+		k := rng.Intn(10) + 1
+		m := RandomMatrix(rng, k)
+		// Consistent system: pick x, solve for m x.
+		x0 := rng.Uint64() & bitops.Mask(k)
+		b := m.Apply(x0)
+		x, ok := m.Solve(b)
+		if !ok {
+			t.Fatalf("consistent system reported unsolvable")
+		}
+		if m.Apply(x) != b {
+			t.Fatalf("Solve returned wrong solution")
+		}
+	}
+	// Inconsistent system.
+	m := NewMatrix(2, 2)
+	m.Rows[0] = 0b01
+	m.Rows[1] = 0b01
+	if _, ok := m.Solve(0b10); ok {
+		t.Error("inconsistent system solved")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	basis := []uint64{0b001, 0b010}
+	if !SpanContains(basis, 0b011) || !SpanContains(basis, 0) {
+		t.Error("span membership false negative")
+	}
+	if SpanContains(basis, 0b100) {
+		t.Error("span membership false positive")
+	}
+	if SpanDim([]uint64{0b11, 0b01, 0b10}) != 2 {
+		t.Error("SpanDim wrong")
+	}
+	if SpanDim(nil) != 0 {
+		t.Error("SpanDim(nil) != 0")
+	}
+}
+
+func TestAffineApplyCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		k := rng.Intn(8) + 1
+		a := Affine{M: RandomMatrix(rng, k), C: rng.Uint64() & bitops.Mask(k), Dim: k}
+		b := Affine{M: RandomMatrix(rng, k), C: rng.Uint64() & bitops.Mask(k), Dim: k}
+		x := rng.Uint64() & bitops.Mask(k)
+		if a.Compose(b).Apply(x) != a.Apply(b.Apply(x)) {
+			t.Fatal("affine composition law fails")
+		}
+	}
+}
+
+func TestAffineInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 40; trial++ {
+		k := rng.Intn(8) + 1
+		a := Affine{M: RandomInvertible(rng, k), C: rng.Uint64() & bitops.Mask(k), Dim: k}
+		inv, ok := a.Inverse()
+		if !ok {
+			t.Fatal("invertible affine map not inverted")
+		}
+		for x := uint64(0); x < 1<<uint(k); x++ {
+			if inv.Apply(a.Apply(x)) != x || a.Apply(inv.Apply(x)) != x {
+				t.Fatal("affine inverse wrong")
+			}
+		}
+	}
+	sing := Affine{M: NewMatrix(3, 3), C: 1, Dim: 3}
+	if _, ok := sing.Inverse(); ok {
+		t.Error("singular affine map inverted")
+	}
+}
+
+func TestAffineTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 30; trial++ {
+		k := rng.Intn(9) + 1
+		a := Affine{M: RandomMatrix(rng, k), C: rng.Uint64() & bitops.Mask(k), Dim: k}
+		tab := a.Table()
+		if len(tab) != 1<<uint(k) {
+			t.Fatal("table length wrong")
+		}
+		for x := uint64(0); x < uint64(len(tab)); x++ {
+			if tab[x] != a.Apply(x) {
+				t.Fatalf("Table[%d] = %d, Apply = %d", x, tab[x], a.Apply(x))
+			}
+		}
+	}
+}
+
+func TestInferAffineRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 60; trial++ {
+		k := rng.Intn(9) + 1
+		a := Affine{M: RandomMatrix(rng, k), C: rng.Uint64() & bitops.Mask(k), Dim: k}
+		got, ok := InferAffine(a.Table(), k)
+		if !ok {
+			t.Fatal("affine table not recognized")
+		}
+		if !got.Equal(a) {
+			t.Fatalf("inferred map differs:\n%v\nvs\n%v", got, a)
+		}
+	}
+}
+
+func TestInferAffineRejectsNonAffine(t *testing.T) {
+	// x -> x+1 mod 2^k is not GF(2)-affine for k >= 3 (for k = 2 the
+	// single carry bit1' = x1^x0 happens to be linear).
+	for k := 3; k <= 8; k++ {
+		n := 1 << uint(k)
+		f := make([]uint64, n)
+		for x := 0; x < n; x++ {
+			f[x] = uint64((x + 1) % n)
+		}
+		if _, ok := InferAffine(f, k); ok {
+			t.Errorf("k=%d: x+1 mod 2^k accepted as affine", k)
+		}
+	}
+	// A table with one corrupted entry must be rejected.
+	rng := rand.New(rand.NewSource(17))
+	a := Affine{M: RandomMatrix(rng, 5), C: 7, Dim: 5}
+	tab := a.Table()
+	tab[19] ^= 1
+	if _, ok := InferAffine(tab, 5); ok {
+		t.Error("corrupted affine table accepted")
+	}
+	// Wrong length tables are rejected.
+	if _, ok := InferAffine(make([]uint64, 7), 3); ok {
+		t.Error("wrong-length table accepted")
+	}
+}
+
+func TestNewAffineValidation(t *testing.T) {
+	if _, err := NewAffine(Identity(3), 0b111, 3); err != nil {
+		t.Errorf("valid affine rejected: %v", err)
+	}
+	if _, err := NewAffine(Identity(3), 0b1000, 3); err == nil {
+		t.Error("oversized constant accepted")
+	}
+	if _, err := NewAffine(Identity(2), 0, 3); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestRandomInvertibleIsInvertible(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for k := 1; k <= 16; k++ {
+		if !RandomInvertible(rng, k).Invertible() {
+			t.Errorf("k=%d: RandomInvertible returned singular matrix", k)
+		}
+	}
+}
+
+// Property: Apply is linear: m(x^y) == m(x)^m(y).
+func TestApplyLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	f := func(seed int64, xr, yr uint64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := r.Intn(16) + 1
+		m := RandomMatrix(rand.New(rand.NewSource(seed+1)), k)
+		x := xr & bitops.Mask(k)
+		y := yr & bitops.Mask(k)
+		return m.Apply(x^y) == m.Apply(x)^m.Apply(y)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rng, MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rank is invariant under row swaps and row additions.
+func TestRankInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 100; trial++ {
+		k := rng.Intn(10) + 2
+		m := RandomMatrix(rng, k)
+		r0 := m.Rank()
+		i, j := rng.Intn(k), rng.Intn(k)
+		if i == j {
+			continue
+		}
+		m2 := m.Clone()
+		m2.Rows[i], m2.Rows[j] = m2.Rows[j], m2.Rows[i]
+		if m2.Rank() != r0 {
+			t.Fatal("rank changed under row swap")
+		}
+		m3 := m.Clone()
+		m3.Rows[i] ^= m3.Rows[j]
+		if m3.Rank() != r0 {
+			t.Fatal("rank changed under row addition")
+		}
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 1)
+	if got := m.String(); got != "100\n001" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	m := RandomMatrix(rng, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(uint64(i) & bitops.Mask(20))
+	}
+}
+
+func BenchmarkInferAffine(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	a := Affine{M: RandomMatrix(rng, 12), C: 5, Dim: 12}
+	tab := a.Table()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := InferAffine(tab, 12); !ok {
+			b.Fatal("inference failed")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package midigraph
+
+import "fmt"
+
+// PathCountsFrom returns, for first-stage node src, the number of
+// distinct directed paths from (0, src) to each node of the last stage,
+// counted with multiplicity so parallel arcs contribute multiple paths.
+func (g *Graph) PathCountsFrom(src uint32) []uint64 {
+	cur := make([]uint64, g.h)
+	next := make([]uint64, g.h)
+	cur[src] = 1
+	for s := 0; s < g.n-1; s++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for x := 0; x < g.h; x++ {
+			if cur[x] == 0 {
+				continue
+			}
+			f, c := g.Children(s, uint32(x))
+			next[f] += cur[x]
+			next[c] += cur[x]
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// PathCountMatrix returns the full matrix paths[src][dst] of directed
+// path counts between first- and last-stage nodes. O(n * h^2).
+func (g *Graph) PathCountMatrix() [][]uint64 {
+	out := make([][]uint64, g.h)
+	for src := 0; src < g.h; src++ {
+		out[src] = g.PathCountsFrom(uint32(src))
+	}
+	return out
+}
+
+// BanyanViolation describes the first failure found by IsBanyan.
+type BanyanViolation struct {
+	Src, Dst uint32
+	Paths    uint64
+}
+
+func (v BanyanViolation) Error() string {
+	return fmt.Sprintf("midigraph: banyan violated: %d paths from input node %d to output node %d",
+		v.Paths, v.Src, v.Dst)
+}
+
+// IsBanyan reports whether the graph has the Banyan property: exactly one
+// directed path from every first-stage node to every last-stage node.
+// (The paper states it for network inputs and outputs; the two inputs of
+// a first-stage cell share that cell's paths, so the node-level statement
+// is equivalent.) On failure the first violation is returned.
+//
+// Counting shortcut: each first-stage node has exactly 2^(n-1) = h paths
+// leaving it in total, so "every count equals one" is equivalent to
+// "every count is nonzero" — but we check counts exactly to produce
+// precise violation reports.
+func (g *Graph) IsBanyan() (bool, *BanyanViolation) {
+	for src := 0; src < g.h; src++ {
+		counts := g.PathCountsFrom(uint32(src))
+		for dst, c := range counts {
+			if c != 1 {
+				return false, &BanyanViolation{Src: uint32(src), Dst: uint32(dst), Paths: c}
+			}
+		}
+	}
+	return true, nil
+}
+
+// ReachableSetSizes returns, for each first-stage node, how many last-
+// stage nodes it reaches at all (ignoring multiplicity). For a Banyan
+// graph every entry is h.
+func (g *Graph) ReachableSetSizes() []int {
+	out := make([]int, g.h)
+	for src := 0; src < g.h; src++ {
+		n := 0
+		for _, c := range g.PathCountsFrom(uint32(src)) {
+			if c > 0 {
+				n++
+			}
+		}
+		out[src] = n
+	}
+	return out
+}

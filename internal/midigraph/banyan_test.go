@@ -1,0 +1,134 @@
+package midigraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"minequiv/internal/perm"
+)
+
+func TestBaselineIsBanyan(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		g := buildBaseline(t, n)
+		ok, v := g.IsBanyan()
+		if !ok {
+			t.Fatalf("n=%d: baseline not Banyan: %v", n, v)
+		}
+	}
+}
+
+func TestPathCountMatrixRowsSum(t *testing.T) {
+	// Every first-stage node has exactly 2^(n-1) outgoing paths in any
+	// valid MI-digraph, Banyan or not.
+	g := buildBaseline(t, 6)
+	for _, row := range g.PathCountMatrix() {
+		var sum uint64
+		for _, c := range row {
+			sum += c
+		}
+		if sum != uint64(g.CellsPerStage()) {
+			t.Fatalf("row sums to %d, want %d", sum, g.CellsPerStage())
+		}
+	}
+}
+
+func TestParallelArcsBreakBanyan(t *testing.T) {
+	// Fig 5: a stage with double links cannot be Banyan. Build a 3-stage
+	// graph whose middle connection doubles every arc.
+	g := buildBaseline(t, 3)
+	h := uint32(g.CellsPerStage())
+	for y := uint32(0); y < h; y++ {
+		// Double arc to a single child; pair consecutive nodes so
+		// indegree stays 2.
+		g.SetChildren(1, y, y^1, y^1)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("double-link graph should validate: %v", err)
+	}
+	ok, v := g.IsBanyan()
+	if ok {
+		t.Fatal("double-link graph reported Banyan")
+	}
+	if v == nil || v.Paths == 1 {
+		t.Fatalf("violation should report a count != 1, got %+v", v)
+	}
+	if v.Error() == "" {
+		t.Error("violation has empty error text")
+	}
+}
+
+func TestZeroPathViolation(t *testing.T) {
+	// A graph where some input cannot reach some output: two disjoint
+	// column pairs. Stage connections map each pair onto itself.
+	g := New(3)
+	for y := uint32(0); y < 4; y++ {
+		pairBase := y &^ 1
+		g.SetChildren(0, y, pairBase, pairBase|1)
+		g.SetChildren(1, y, pairBase, pairBase|1)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ok, v := g.IsBanyan()
+	if ok {
+		t.Fatal("disconnected graph reported Banyan")
+	}
+	if v.Paths != 0 && v.Paths != 2 {
+		t.Fatalf("unexpected violation %+v", v)
+	}
+	sizes := g.ReachableSetSizes()
+	for _, s := range sizes {
+		if s != 2 {
+			t.Fatalf("ReachableSetSizes = %v, want all 2", sizes)
+		}
+	}
+}
+
+func TestBanyanInvariantUnderRelabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := buildBaseline(t, 5)
+	for trial := 0; trial < 10; trial++ {
+		perms := make([]perm.Perm, g.Stages())
+		for s := range perms {
+			perms[s] = perm.Random(rng, g.CellsPerStage())
+		}
+		r, err := g.Relabel(perms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, v := r.IsBanyan(); !ok {
+			t.Fatalf("relabeled baseline not Banyan: %v", v)
+		}
+		// P properties are isomorphism-invariant too.
+		if !AllOK(r.CheckPrefix()) || !AllOK(r.CheckSuffix()) {
+			t.Fatal("relabeled baseline lost P properties")
+		}
+	}
+}
+
+func TestReachableSetSizesBanyan(t *testing.T) {
+	g := buildBaseline(t, 5)
+	for _, s := range g.ReachableSetSizes() {
+		if s != g.CellsPerStage() {
+			t.Fatalf("banyan input reaches %d outputs, want %d", s, g.CellsPerStage())
+		}
+	}
+}
+
+func BenchmarkIsBanyan(b *testing.B) {
+	g := buildBaseline(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := g.IsBanyan(); !ok {
+			b.Fatal("baseline not banyan")
+		}
+	}
+}
+
+func BenchmarkPathCountsFrom(b *testing.B) {
+	g := buildBaseline(b, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PathCountsFrom(uint32(i % g.CellsPerStage()))
+	}
+}

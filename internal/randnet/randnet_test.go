@@ -1,0 +1,256 @@
+package randnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"minequiv/internal/midigraph"
+	"minequiv/internal/topology"
+)
+
+func TestIndependentBanyanProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n <= 7; n++ {
+		for trial := 0; trial < 5; trial++ {
+			g, conns, err := IndependentBanyan(rng, n, 500)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("n=%d: invalid graph: %v", n, err)
+			}
+			if ok, v := g.IsBanyan(); !ok {
+				t.Fatalf("n=%d: not Banyan: %v", n, v)
+			}
+			if len(conns) != n-1 {
+				t.Fatalf("n=%d: %d connections", n, len(conns))
+			}
+			for s, c := range conns {
+				if !c.IsIndependent() {
+					t.Fatalf("n=%d stage %d: connection not independent", n, s)
+				}
+			}
+			// Lemma 2: a Banyan built from independent connections
+			// satisfies P(*,n); by Proposition 1 + Lemma 2 on the
+			// reverse, also P(1,*).
+			if !midigraph.AllOK(g.CheckSuffix()) {
+				t.Fatalf("n=%d: Lemma 2 violated (P(*,n) fails)", n)
+			}
+			if !midigraph.AllOK(g.CheckPrefix()) {
+				t.Fatalf("n=%d: P(1,*) fails", n)
+			}
+		}
+	}
+}
+
+func TestIndependentBanyanRejectsBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, _, err := IndependentBanyan(rng, 1, 10); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, _, err := IndependentBanyan(rng, 5, 0); err == nil {
+		t.Error("zero tries should fail")
+	}
+}
+
+func TestPIPIDNetworkProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 2; n <= 7; n++ {
+		nw, err := PIPIDNetwork(rng, n, 500)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if ok, _ := nw.Graph.IsBanyan(); !ok {
+			t.Fatalf("n=%d: not Banyan", n)
+		}
+		if len(nw.IndexPerms) != n-1 {
+			t.Fatalf("n=%d: missing index perms", n)
+		}
+		// The paper's main corollary: random Banyan PIPID networks
+		// satisfy the full characterization.
+		if !midigraph.AllOK(nw.Graph.CheckPrefix()) || !midigraph.AllOK(nw.Graph.CheckSuffix()) {
+			t.Fatalf("n=%d: PIPID network violates characterization", n)
+		}
+	}
+}
+
+func TestScramblePreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, _, err := IndependentBanyan(rng, 5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, perms := Scramble(rng, g)
+	if err := sg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(perms) != g.Stages() {
+		t.Fatal("wrong perm count")
+	}
+	// Banyan and P properties are isomorphism invariants.
+	if ok, _ := sg.IsBanyan(); !ok {
+		t.Fatal("scramble broke Banyan")
+	}
+	if !midigraph.AllOK(sg.CheckPrefix()) || !midigraph.AllOK(sg.CheckSuffix()) {
+		t.Fatal("scramble broke P properties")
+	}
+}
+
+func TestTailCycleBanyan(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		g, err := TailCycleBanyan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, v := g.IsBanyan(); !ok {
+			t.Fatalf("n=%d: not Banyan: %v", n, v)
+		}
+		if g.PropertyP(n-1, n) {
+			t.Fatalf("n=%d: P(n-1,n) should fail", n)
+		}
+		if !midigraph.AllOK(g.CheckPrefix()) {
+			t.Fatalf("n=%d: prefix family should hold", n)
+		}
+	}
+	if _, err := TailCycleBanyan(2); err == nil {
+		t.Error("n=2 accepted (would be Baseline itself)")
+	}
+}
+
+func TestHeadCycleBanyan(t *testing.T) {
+	for n := 3; n <= 8; n++ {
+		g, err := HeadCycleBanyan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, v := g.IsBanyan(); !ok {
+			t.Fatalf("n=%d: not Banyan: %v", n, v)
+		}
+		if g.PropertyP(1, 2) {
+			t.Fatalf("n=%d: P(1,2) should fail", n)
+		}
+		if !midigraph.AllOK(g.CheckSuffix()) {
+			t.Fatalf("n=%d: suffix family should hold", n)
+		}
+	}
+}
+
+func TestNonBanyan(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		g, err := NonBanyan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := g.IsBanyan(); ok {
+			t.Fatalf("n=%d: NonBanyan graph is Banyan", n)
+		}
+		if !g.HasParallelArcs() {
+			t.Fatalf("n=%d: expected double links", n)
+		}
+	}
+	if _, err := NonBanyan(2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestRandomValidGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(5) + 2
+		g := RandomValidGraph(rng, n)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("random graph invalid: %v", err)
+		}
+	}
+}
+
+func BenchmarkIndependentBanyan(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := IndependentBanyan(rng, 8, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBuddyTwist(t *testing.T) {
+	g, err := BuddyTwist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Banyan holds...
+	if ok, v := g.IsBanyan(); !ok {
+		t.Fatalf("buddy twist not Banyan: %v", v)
+	}
+	// ...every stage has the buddy structure...
+	if !g.BuddyProperty() {
+		t.Fatal("buddy twist lost the buddy property")
+	}
+	// ...but the characterization fails: P(2,4) collapses to one
+	// component instead of two.
+	if got := g.ComponentCount(1, 3); got != 1 {
+		t.Fatalf("window (2..4) has %d components, want 1", got)
+	}
+	if g.PropertyP(2, 4) {
+		t.Fatal("P(2,4) unexpectedly holds")
+	}
+	if midigraph.AllOK(g.CheckSuffix()) {
+		t.Fatal("suffix family unexpectedly holds")
+	}
+}
+
+func TestBaselineHasBuddyProperty(t *testing.T) {
+	// Sanity: the classical networks all satisfy the buddy property, so
+	// the refutation is about sufficiency, not about the property being
+	// exotic.
+	for n := 2; n <= 7; n++ {
+		for _, name := range topology.Names() {
+			g := topology.MustBuild(name, n).Graph
+			if !g.BuddyProperty() {
+				t.Fatalf("%s n=%d: buddy property fails", name, n)
+			}
+		}
+	}
+	// Double links break it.
+	nb, err := NonBanyan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.BuddyProperty() {
+		t.Fatal("double-link graph has buddy property")
+	}
+	// The tail cycle breaks it at the last stage only.
+	tc, err := TailCycleBanyan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.BuddyStage(0) != true || tc.BuddyStage(2) != false {
+		t.Fatal("tail-cycle buddy pattern wrong")
+	}
+}
+
+func TestTailCycleLinkPerms(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		perms, err := TailCycleLinkPerms(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := midigraph.FromLinkPerms(n, perms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := TailCycleBanyan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The link-level definition induces exactly the cell-level
+		// counterexample, including the (f,g) slot order.
+		if !g.Equal(want) {
+			t.Fatalf("n=%d: link-perm tail cycle differs from cell construction", n)
+		}
+	}
+	if _, err := TailCycleLinkPerms(2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}

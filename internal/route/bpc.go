@@ -1,0 +1,105 @@
+package route
+
+import (
+	"fmt"
+
+	"minequiv/internal/bitops"
+	"minequiv/internal/pipid"
+)
+
+// BPCRouter extends bit-directed routing to bit-permute-complement
+// stages: each stage applies A(y) = theta(y) ^ mask. The complement bits
+// never disturb which destination bit a switch controls — they only flip
+// the tag value the switch must read — so routing stays a stateless bit
+// lookup with a per-stage XOR correction.
+type BPCRouter struct {
+	n      int
+	stages []pipid.BPC
+	tagPos []int
+	tagFix []uint64 // correction: d_s = dst[tagPos[s]] ^ tagFix[s]
+}
+
+// NewBPCRouter derives tag positions and mask corrections. Like
+// NewRouter it rejects networks where a port choice is overwritten.
+func NewBPCRouter(stages []pipid.BPC) (*BPCRouter, error) {
+	n := len(stages) + 1
+	for s, st := range stages {
+		if st.Theta.W() != n {
+			return nil, fmt.Errorf("route: stage %d theta on %d bits, want %d", s, st.Theta.W(), n)
+		}
+	}
+	r := &BPCRouter{n: n, stages: stages, tagPos: make([]int, n), tagFix: make([]uint64, n)}
+	for s := 0; s < n; s++ {
+		pos := 0
+		var fix uint64
+		dead := false
+		for t := s; t < n-1; t++ {
+			pos = r.stages[t].Theta.Inverse().Theta[pos]
+			fix ^= bitops.Bit(r.stages[t].Mask, pos)
+			if pos == 0 && t < n-2 {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			return nil, fmt.Errorf("route: stage %d port choice overwritten (network not Banyan)", s)
+		}
+		r.tagPos[s] = pos
+		r.tagFix[s] = fix
+	}
+	seen := make([]bool, n)
+	for s, p := range r.tagPos {
+		if seen[p] {
+			return nil, fmt.Errorf("route: stage %d tag position %d collides (network not Banyan)", s, p)
+		}
+		seen[p] = true
+	}
+	return r, nil
+}
+
+// N returns the number of terminals.
+func (r *BPCRouter) N() int { return 1 << uint(r.n) }
+
+// TagPositions returns the destination bit consumed per stage.
+func (r *BPCRouter) TagPositions() []int {
+	out := make([]int, len(r.tagPos))
+	copy(out, r.tagPos)
+	return out
+}
+
+// Route computes the unique path from src to dst.
+func (r *BPCRouter) Route(src, dst uint64) (Path, error) {
+	nTerm := uint64(r.N())
+	if src >= nTerm || dst >= nTerm {
+		return Path{}, fmt.Errorf("route: terminal out of range (src=%d dst=%d N=%d)", src, dst, nTerm)
+	}
+	link := src
+	path := Path{Src: src, Dst: dst, Steps: make([]Step, 0, r.n)}
+	for s := 0; s < r.n; s++ {
+		cell := link >> 1
+		inPort := link & 1
+		d := bitops.Bit(dst, r.tagPos[s]) ^ r.tagFix[s]
+		path.Steps = append(path.Steps, Step{Stage: s, Cell: cell, InPort: inPort, OutPort: d})
+		link = cell<<1 | d
+		if s < r.n-1 {
+			link = r.stages[s].Apply(link)
+		}
+	}
+	if link != dst {
+		return Path{}, fmt.Errorf("route: BPC tag routing landed on %d, want %d (internal error)", link, dst)
+	}
+	return path, nil
+}
+
+// VerifyAllPairs routes all terminal pairs.
+func (r *BPCRouter) VerifyAllPairs() (int, error) {
+	n := uint64(r.N())
+	for src := uint64(0); src < n; src++ {
+		for dst := uint64(0); dst < n; dst++ {
+			if _, err := r.Route(src, dst); err != nil {
+				return 0, fmt.Errorf("route: pair (%d,%d): %w", src, dst, err)
+			}
+		}
+	}
+	return int(n * n), nil
+}

@@ -1,0 +1,219 @@
+// Package route implements the "very simple bit directed routing" that
+// §4 of the paper credits PIPID-built networks with, plus a generic
+// unique-path router for arbitrary permutation-defined MINs.
+//
+// Terminal model. A network with n stages has N = 2^n input terminals
+// and N output terminals. Input terminal a enters the stage-0 cell a>>1
+// on port a&1. At each stage the switch chooses an output port d; the
+// outlink label is (cell<<1)|d; the stage's link permutation carries it
+// to the next stage's inlink, whose high n-1 bits name the next cell.
+// The outlinks of the last stage are the output terminals themselves.
+//
+// For a PIPID network the port choice made at stage s ends up, untouched,
+// at one fixed bit position of the output terminal label (the "tag
+// position"); routing is then: read the destination's bit at that
+// position and set the switch accordingly — no state, no lookup.
+package route
+
+import (
+	"fmt"
+
+	"minequiv/internal/perm"
+	"minequiv/internal/pipid"
+)
+
+// Step records one hop of a routed path.
+type Step struct {
+	Stage   int    // 0-based stage index
+	Cell    uint64 // cell label at this stage
+	InPort  uint64 // port the packet arrived on (0/1)
+	OutPort uint64 // port chosen to leave on (0/1)
+}
+
+// Path is a full route from an input terminal to an output terminal.
+type Path struct {
+	Src, Dst uint64
+	Steps    []Step
+}
+
+// Router performs bit-directed routing on a PIPID-defined network.
+type Router struct {
+	n      int
+	thetas []pipid.IndexPerm
+	tagPos []int // tagPos[s] = output-terminal bit controlled by stage s
+}
+
+// NewRouter derives the tag positions for a PIPID network. It fails when
+// some stage's port choice is overwritten before reaching the output —
+// exactly the degenerate (non-Banyan) situations, e.g. a stage with
+// theta^{-1}(0) = 0.
+func NewRouter(thetas []pipid.IndexPerm) (*Router, error) {
+	n := len(thetas) + 1
+	for s, th := range thetas {
+		if th.W() != n {
+			return nil, fmt.Errorf("route: stage %d theta on %d bits, want %d", s, th.W(), n)
+		}
+	}
+	r := &Router{n: n, thetas: thetas, tagPos: make([]int, n)}
+	// The choice bit enters at link position 0 after stage s's switch and
+	// is then carried through theta_s, ..., theta_{n-2}. Input position i
+	// of A_theta appears at output position theta^{-1}(i).
+	for s := 0; s < n; s++ {
+		pos := 0
+		for t := s; t < n-1; t++ {
+			pos = r.thetas[t].Inverse().Theta[pos]
+			if pos == 0 && t < n-2 {
+				// Will be overwritten by the next switch's choice only if
+				// it sits at position 0 when entering a switch; it always
+				// does (position 0 IS the port). Overwrite happens at
+				// every switch, so landing on 0 before the last stage
+				// kills the bit.
+				break
+			}
+		}
+		r.tagPos[s] = pos
+	}
+	// Bits 0 is always the last stage's tag. Validate distinctness.
+	seen := make([]bool, n)
+	for s, p := range r.tagPos {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("route: stage %d tag position %d collides or out of range (network not Banyan)", s, p)
+		}
+		seen[p] = true
+	}
+	return r, nil
+}
+
+// tagPosition is exported for experiments: which destination bit the
+// switch at stage s consumes.
+func (r *Router) TagPositions() []int {
+	out := make([]int, len(r.tagPos))
+	copy(out, r.tagPos)
+	return out
+}
+
+// N returns the number of terminals.
+func (r *Router) N() int { return 1 << uint(r.n) }
+
+// Route computes the unique path from input terminal src to output
+// terminal dst using destination-tag bits.
+func (r *Router) Route(src, dst uint64) (Path, error) {
+	nTerm := uint64(r.N())
+	if src >= nTerm || dst >= nTerm {
+		return Path{}, fmt.Errorf("route: terminal out of range (src=%d dst=%d N=%d)", src, dst, nTerm)
+	}
+	link := src
+	path := Path{Src: src, Dst: dst, Steps: make([]Step, 0, r.n)}
+	for s := 0; s < r.n; s++ {
+		cell := link >> 1
+		inPort := link & 1
+		d := (dst >> uint(r.tagPos[s])) & 1
+		path.Steps = append(path.Steps, Step{Stage: s, Cell: cell, InPort: inPort, OutPort: d})
+		link = cell<<1 | d
+		if s < r.n-1 {
+			link = r.thetas[s].Apply(link)
+		}
+	}
+	if link != dst {
+		return Path{}, fmt.Errorf("route: tag routing landed on %d, want %d (internal error)", link, dst)
+	}
+	return path, nil
+}
+
+// DPRouter routes on a network defined by arbitrary link permutations,
+// using backward reachability instead of closed-form tags. It is the
+// semantic reference implementation the tag router is tested against.
+type DPRouter struct {
+	n     int
+	perms []perm.Perm
+}
+
+// NewDPRouter wraps per-stage link permutations (length n-1, each on 2^n
+// symbols).
+func NewDPRouter(perms []perm.Perm) (*DPRouter, error) {
+	n := len(perms) + 1
+	for s, p := range perms {
+		if p.N() != 1<<uint(n) {
+			return nil, fmt.Errorf("route: stage %d permutation on %d symbols, want %d", s, p.N(), 1<<uint(n))
+		}
+	}
+	return &DPRouter{n: n, perms: perms}, nil
+}
+
+// N returns the number of terminals.
+func (r *DPRouter) N() int { return 1 << uint(r.n) }
+
+// Route computes a path from src to dst, or fails when none exists. When
+// the network is Banyan the path is the unique one.
+func (r *DPRouter) Route(src, dst uint64) (Path, error) {
+	nTerm := uint64(r.N())
+	if src >= nTerm || dst >= nTerm {
+		return Path{}, fmt.Errorf("route: terminal out of range (src=%d dst=%d N=%d)", src, dst, nTerm)
+	}
+	h := int(nTerm / 2)
+	// canReach[s][cell]: cell at stage s can reach output terminal dst.
+	canReach := make([][]bool, r.n)
+	last := make([]bool, h)
+	last[dst>>1] = true
+	canReach[r.n-1] = last
+	for s := r.n - 2; s >= 0; s-- {
+		cur := make([]bool, h)
+		for cell := 0; cell < h; cell++ {
+			for d := uint64(0); d < 2; d++ {
+				next := r.perms[s].Apply(uint64(cell)<<1|d) >> 1
+				if canReach[s+1][next] {
+					cur[cell] = true
+				}
+			}
+		}
+		canReach[s] = cur
+	}
+	link := src
+	path := Path{Src: src, Dst: dst, Steps: make([]Step, 0, r.n)}
+	for s := 0; s < r.n; s++ {
+		cell := link >> 1
+		inPort := link & 1
+		if !canReach[s][cell] {
+			return Path{}, fmt.Errorf("route: no path from %d to %d (stuck at stage %d cell %d)", src, dst, s, cell)
+		}
+		var d uint64
+		if s == r.n-1 {
+			d = dst & 1
+		} else {
+			chosen := false
+			for cand := uint64(0); cand < 2; cand++ {
+				next := r.perms[s].Apply(cell<<1|cand) >> 1
+				if canReach[s+1][next] {
+					d = cand
+					chosen = true
+					break
+				}
+			}
+			if !chosen {
+				return Path{}, fmt.Errorf("route: dead end at stage %d cell %d", s, cell)
+			}
+		}
+		path.Steps = append(path.Steps, Step{Stage: s, Cell: cell, InPort: inPort, OutPort: d})
+		link = cell<<1 | d
+		if s < r.n-1 {
+			link = r.perms[s].Apply(link)
+		}
+	}
+	if link != dst {
+		return Path{}, fmt.Errorf("route: landed on %d, want %d", link, dst)
+	}
+	return path, nil
+}
+
+// PathsEqual reports whether two paths traverse the same cells and ports.
+func PathsEqual(a, b Path) bool {
+	if a.Src != b.Src || a.Dst != b.Dst || len(a.Steps) != len(b.Steps) {
+		return false
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			return false
+		}
+	}
+	return true
+}

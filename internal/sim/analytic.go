@@ -1,0 +1,31 @@
+package sim
+
+// AnalyticUniformThroughput evaluates Patel's classical recurrence for
+// the acceptance probability of an unbuffered n-stage banyan of 2x2
+// switches under full uniform random traffic:
+//
+//	q_0 = 1,  q_{k+1} = 1 - (1 - q_k/2)^2
+//
+// where q_k is the probability a given stage-k link carries a packet.
+// The returned value q_n is the expected delivered fraction. The wave
+// simulator must track this curve for every baseline-equivalent network;
+// the experiment harness (T7/T12) checks it does.
+func AnalyticUniformThroughput(n int) float64 {
+	q := 1.0
+	for k := 0; k < n; k++ {
+		p := 1 - q/2
+		q = 1 - p*p
+	}
+	return q
+}
+
+// AnalyticUniformThroughputLoaded generalizes the recurrence to an
+// offered load q_0 = load in [0, 1].
+func AnalyticUniformThroughputLoaded(n int, load float64) float64 {
+	q := load
+	for k := 0; k < n; k++ {
+		p := 1 - q/2
+		q = 1 - p*p
+	}
+	return q
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BufferedConfig parametrizes the queued (store-and-forward) simulation.
+type BufferedConfig struct {
+	Load    float64 // Bernoulli injection probability per input per cycle
+	Queue   int     // FIFO capacity per switch input port
+	Cycles  int     // measured cycles
+	Warmup  int     // cycles discarded before measuring
+	HotSpot float64 // probability of addressing the hot output (0 = uniform)
+	HotDst  int     // the hot output terminal
+}
+
+// BufferedResult aggregates the run.
+type BufferedResult struct {
+	Injected     int
+	Rejected     int // injection attempts refused by a full entry queue
+	Delivered    int
+	InFlight     int // packets still queued at the end
+	Cycles       int
+	MeanLatency  float64 // cycles from injection to delivery
+	Throughput   float64 // delivered per terminal per measured cycle
+	MaxOccupancy int     // largest queue length observed
+}
+
+// RunBuffered simulates the fabric with one FIFO per switch input port.
+// Each cycle every switch forwards at most one packet per output port
+// (fair random arbitration between its two inputs); a packet advances
+// only if the downstream queue has room (backpressure), and delivered
+// packets leave at the last stage. Stages are serviced downstream-first
+// so a packet can cascade at most one hop per cycle but freed slots are
+// usable within the cycle.
+func (f *Fabric) RunBuffered(cfg BufferedConfig, rng *rand.Rand) (BufferedResult, error) {
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return BufferedResult{}, fmt.Errorf("sim: load %v out of [0,1]", cfg.Load)
+	}
+	if cfg.Queue < 1 {
+		return BufferedResult{}, fmt.Errorf("sim: queue capacity must be >= 1")
+	}
+	if cfg.Cycles < 1 {
+		return BufferedResult{}, fmt.Errorf("sim: cycles must be >= 1")
+	}
+	type fifo struct{ pkts []Packet }
+	// queues[s][cell*2+port]
+	queues := make([][]fifo, f.Spans)
+	for s := range queues {
+		queues[s] = make([]fifo, f.H*2)
+	}
+	res := BufferedResult{Cycles: cfg.Cycles}
+	var latSum float64
+	total := cfg.Warmup + cfg.Cycles
+	measuring := func(cycle int) bool { return cycle >= cfg.Warmup }
+
+	for cycle := 0; cycle < total; cycle++ {
+		// Service stages from the last to the first.
+		for s := f.Spans - 1; s >= 0; s-- {
+			for cell := 0; cell < f.H; cell++ {
+				q0 := &queues[s][cell*2]
+				q1 := &queues[s][cell*2+1]
+				// Head requests.
+				req := [2]int{-1, -1} // desired output port per input, -1 idle
+				if len(q0.pkts) > 0 {
+					p := f.port[s][cell*f.N+q0.pkts[0].Dst]
+					if p == 0xFF {
+						q0.pkts = q0.pkts[1:] // undeliverable: drop silently
+					} else {
+						req[0] = int(p)
+					}
+				}
+				if len(q1.pkts) > 0 {
+					p := f.port[s][cell*f.N+q1.pkts[0].Dst]
+					if p == 0xFF {
+						q1.pkts = q1.pkts[1:]
+					} else {
+						req[1] = int(p)
+					}
+				}
+				// Arbitration order: random when both contend for the
+				// same port, otherwise both can go.
+				first, second := 0, 1
+				if req[0] >= 0 && req[0] == req[1] && rng.Intn(2) == 1 {
+					first, second = 1, 0
+				}
+				granted := [2]bool{}
+				for _, in := range []int{first, second} {
+					if req[in] < 0 {
+						continue
+					}
+					if in == second && req[first] == req[in] && granted[first] {
+						continue // lost arbitration this cycle
+					}
+					q := &queues[s][cell*2+in]
+					pkt := q.pkts[0]
+					out := uint64(cell)<<1 | uint64(req[in])
+					if s == f.Spans-1 {
+						// Exits the network at terminal `out`.
+						q.pkts = q.pkts[1:]
+						granted[in] = true
+						if measuring(cycle) {
+							res.Delivered++
+							latSum += float64(cycle - pkt.Born + 1)
+						}
+						continue
+					}
+					in2 := f.perms[s].Apply(out)
+					nq := &queues[s+1][int(in2>>1)*2+int(in2&1)]
+					if len(nq.pkts) >= cfg.Queue {
+						continue // backpressure stall
+					}
+					q.pkts = q.pkts[1:]
+					nq.pkts = append(nq.pkts, pkt)
+					granted[in] = true
+					if len(nq.pkts) > res.MaxOccupancy {
+						res.MaxOccupancy = len(nq.pkts)
+					}
+				}
+			}
+		}
+		// Injection.
+		for t := 0; t < f.N; t++ {
+			if rng.Float64() >= cfg.Load {
+				continue
+			}
+			var dst int
+			if cfg.HotSpot > 0 && rng.Float64() < cfg.HotSpot {
+				dst = cfg.HotDst % f.N
+			} else {
+				dst = rng.Intn(f.N)
+			}
+			q := &queues[0][(t>>1)*2+(t&1)]
+			if len(q.pkts) >= cfg.Queue {
+				if measuring(cycle) {
+					res.Rejected++
+				}
+				continue
+			}
+			q.pkts = append(q.pkts, Packet{Src: t, Dst: dst, Born: cycle})
+			if measuring(cycle) {
+				res.Injected++
+			}
+			if len(q.pkts) > res.MaxOccupancy {
+				res.MaxOccupancy = len(q.pkts)
+			}
+		}
+	}
+	for s := range queues {
+		for i := range queues[s] {
+			res.InFlight += len(queues[s][i].pkts)
+		}
+	}
+	if res.Delivered > 0 {
+		res.MeanLatency = latSum / float64(res.Delivered)
+	}
+	res.Throughput = float64(res.Delivered) / float64(cfg.Cycles) / float64(f.N)
+	return res, nil
+}

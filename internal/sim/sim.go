@@ -1,0 +1,230 @@
+// Package sim is the system-evaluation substrate of this reproduction.
+// The paper proves six multistage interconnection networks topologically
+// equivalent but, being a theory paper, never runs them; sim supplies
+// the missing systems-level meaning: a synchronous packet simulator for
+// any permutation-defined MIN, with drop-on-conflict (unbuffered) and
+// FIFO-queued (buffered) switch models and the classic traffic patterns.
+// Isomorphic networks produce statistically identical results under
+// uniform traffic — the downstream consequence of the paper's theorem.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"minequiv/internal/perm"
+)
+
+// Fabric is a compiled simulation model of one MIN: per-stage link
+// permutations plus precomputed destination-tag routing tables that work
+// for ANY Banyan network, PIPID or not (reachability-based).
+type Fabric struct {
+	N     int // terminals
+	H     int // cells per stage
+	Spans int // stages
+	perms []perm.Perm
+	// port[s][cell*N + dst] = output port (0/1) that leads from cell at
+	// stage s toward output terminal dst; 0xFF when unreachable.
+	port [][]uint8
+}
+
+// NewFabric compiles the routing tables. It fails if some (cell, dst)
+// pair at some stage has both ports leading to dst (non-Banyan ambiguity)
+// — unreachable pairs are tolerated and marked, so non-Banyan networks
+// can still be simulated for comparison, with ambiguous choices resolved
+// toward port 0.
+func NewFabric(perms []perm.Perm) (*Fabric, error) {
+	n := len(perms) + 1
+	N := 1 << uint(n)
+	h := N / 2
+	for s, p := range perms {
+		if p.N() != N {
+			return nil, fmt.Errorf("sim: stage %d permutation on %d symbols, want %d", s, p.N(), N)
+		}
+	}
+	f := &Fabric{N: N, H: h, Spans: n, perms: perms}
+	// reach[cell] = bitset over destinations, built backward.
+	words := (N + 63) / 64
+	cur := make([][]uint64, h)  // reach at stage s+1
+	next := make([][]uint64, h) // scratch
+	for c := 0; c < h; c++ {
+		cur[c] = make([]uint64, words)
+		next[c] = make([]uint64, words)
+	}
+	// Last stage: cell c reaches terminals 2c and 2c+1.
+	for c := 0; c < h; c++ {
+		for w := range cur[c] {
+			cur[c][w] = 0
+		}
+		cur[c][(2*c)/64] |= 3 << uint((2*c)%64)
+	}
+	f.port = make([][]uint8, n)
+	// Last stage port choice: dst parity.
+	f.port[n-1] = make([]uint8, h*N)
+	for c := 0; c < h; c++ {
+		for dst := 0; dst < N; dst++ {
+			if dst>>1 == c {
+				f.port[n-1][c*N+dst] = uint8(dst & 1)
+			} else {
+				f.port[n-1][c*N+dst] = 0xFF
+			}
+		}
+	}
+	for s := n - 2; s >= 0; s-- {
+		f.port[s] = make([]uint8, h*N)
+		for c := 0; c < h; c++ {
+			child0 := int(perms[s].Apply(uint64(c)<<1) >> 1)
+			child1 := int(perms[s].Apply(uint64(c)<<1|1) >> 1)
+			for w := 0; w < words; w++ {
+				next[c][w] = cur[child0][w] | cur[child1][w]
+			}
+			for dst := 0; dst < N; dst++ {
+				r0 := cur[child0][dst/64]>>(uint(dst)%64)&1 == 1
+				r1 := cur[child1][dst/64]>>(uint(dst)%64)&1 == 1
+				switch {
+				case r0:
+					f.port[s][c*N+dst] = 0
+				case r1:
+					f.port[s][c*N+dst] = 1
+				default:
+					f.port[s][c*N+dst] = 0xFF
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return f, nil
+}
+
+// Banyan reports whether the compiled fabric has full unique-path
+// reachability: every (stage-0 cell, destination) pair routable and no
+// stage offered both ports. (Cheap structural re-check on the tables.)
+func (f *Fabric) Banyan() bool {
+	for s := range f.port {
+		for i, p := range f.port[s] {
+			_ = i
+			if s == 0 && p == 0xFF {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Packet is an in-flight message.
+type Packet struct {
+	Src, Dst int
+	Born     int // injection cycle (buffered model)
+}
+
+// WaveResult reports one synchronous unbuffered wave.
+type WaveResult struct {
+	Offered   int
+	Delivered int
+	Dropped   int
+	DropStage []int // drops per stage
+	Misrouted int   // packets that reached a wrong terminal (non-Banyan fabrics)
+}
+
+// RunWave pushes one batch of packets through the network: dsts[i] is
+// the destination of the packet injected at input terminal i, or -1 for
+// no packet. Two packets wanting the same switch output collide; the
+// rng picks the winner fairly and the loser is dropped.
+func (f *Fabric) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
+	if len(dsts) != f.N {
+		return WaveResult{}, fmt.Errorf("sim: %d destinations, want %d", len(dsts), f.N)
+	}
+	res := WaveResult{DropStage: make([]int, f.Spans)}
+	type flying struct {
+		src, dst int
+		link     uint64
+	}
+	cap0 := 0
+	for _, d := range dsts {
+		if d >= 0 {
+			cap0++
+		}
+	}
+	res.Offered = cap0
+	pkts := make([]flying, 0, cap0)
+	for src, dst := range dsts {
+		if dst < 0 {
+			continue
+		}
+		if dst >= f.N {
+			return WaveResult{}, fmt.Errorf("sim: destination %d out of range", dst)
+		}
+		pkts = append(pkts, flying{src: src, dst: dst, link: uint64(src)})
+	}
+	claimed := make([]int32, f.N) // outlink -> packet index claiming it
+	for s := 0; s < f.Spans; s++ {
+		for i := range claimed {
+			claimed[i] = -1
+		}
+		keep := pkts[:0]
+		// First pass: claims with fair tie-breaking. Iterate in random
+		// order so neither low inputs nor early arrivals are favored.
+		order := rng.Perm(len(pkts))
+		for _, idx := range order {
+			p := pkts[idx]
+			cell := p.link >> 1
+			pt := f.port[s][int(cell)*f.N+p.dst]
+			if pt == 0xFF {
+				// Unreachable in this fabric: count as misroute-drop.
+				res.DropStage[s]++
+				res.Dropped++
+				pkts[idx].dst = -1
+				continue
+			}
+			out := cell<<1 | uint64(pt)
+			if claimed[out] >= 0 {
+				res.DropStage[s]++
+				res.Dropped++
+				pkts[idx].dst = -1
+				continue
+			}
+			claimed[out] = int32(idx)
+			pkts[idx].link = out
+		}
+		for _, p := range pkts {
+			if p.dst < 0 {
+				continue
+			}
+			if s < f.Spans-1 {
+				p.link = f.perms[s].Apply(p.link)
+			}
+			keep = append(keep, p)
+		}
+		pkts = keep
+	}
+	for _, p := range pkts {
+		if int(p.link) == p.dst {
+			res.Delivered++
+		} else {
+			res.Misrouted++
+		}
+	}
+	return res, nil
+}
+
+// Throughput runs `waves` independent waves of the given traffic pattern
+// and returns the mean delivered fraction.
+func (f *Fabric) Throughput(pattern Traffic, waves int, rng *rand.Rand) (float64, error) {
+	if waves <= 0 {
+		return 0, fmt.Errorf("sim: waves must be positive")
+	}
+	totalDelivered, totalOffered := 0, 0
+	for w := 0; w < waves; w++ {
+		dsts := pattern(f.N, rng)
+		res, err := f.RunWave(dsts, rng)
+		if err != nil {
+			return 0, err
+		}
+		totalDelivered += res.Delivered
+		totalOffered += res.Offered
+	}
+	if totalOffered == 0 {
+		return 0, nil
+	}
+	return float64(totalDelivered) / float64(totalOffered), nil
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math/rand"
+
+	"minequiv/internal/bitops"
+	"minequiv/internal/perm"
+)
+
+// Traffic generates one wave of destinations: dsts[i] is the destination
+// of input terminal i, or -1 for an idle input.
+type Traffic func(n int, rng *rand.Rand) []int
+
+// Uniform sends one packet from every input to an independently uniform
+// destination.
+func Uniform() Traffic {
+	return func(n int, rng *rand.Rand) []int {
+		dsts := make([]int, n)
+		for i := range dsts {
+			dsts[i] = rng.Intn(n)
+		}
+		return dsts
+	}
+}
+
+// Bernoulli offers a packet on each input with probability load, uniform
+// destination.
+func Bernoulli(load float64) Traffic {
+	return func(n int, rng *rand.Rand) []int {
+		dsts := make([]int, n)
+		for i := range dsts {
+			if rng.Float64() < load {
+				dsts[i] = rng.Intn(n)
+			} else {
+				dsts[i] = -1
+			}
+		}
+		return dsts
+	}
+}
+
+// Permutation sends input i to pi[i] (full permutation traffic).
+func Permutation(pi perm.Perm) Traffic {
+	return func(n int, rng *rand.Rand) []int {
+		dsts := make([]int, n)
+		for i := range dsts {
+			if i < pi.N() {
+				dsts[i] = int(pi[i])
+			} else {
+				dsts[i] = -1
+			}
+		}
+		return dsts
+	}
+}
+
+// RandomPermutation draws a fresh uniform permutation per wave.
+func RandomPermutation() Traffic {
+	return func(n int, rng *rand.Rand) []int {
+		pi := perm.Random(rng, n)
+		dsts := make([]int, n)
+		for i := range dsts {
+			dsts[i] = int(pi[i])
+		}
+		return dsts
+	}
+}
+
+// BitReversal sends input i to the bit-reversal of i — the classic
+// adversarial pattern for shuffle-based networks.
+func BitReversal() Traffic {
+	return func(n int, rng *rand.Rand) []int {
+		w := bitops.Log2(uint64(n))
+		dsts := make([]int, n)
+		for i := range dsts {
+			dsts[i] = int(bitops.Reverse(uint64(i), w))
+		}
+		return dsts
+	}
+}
+
+// HotSpot sends each input's packet to a single hot output with the
+// given probability, uniform otherwise.
+func HotSpot(target int, p float64) Traffic {
+	return func(n int, rng *rand.Rand) []int {
+		dsts := make([]int, n)
+		for i := range dsts {
+			if rng.Float64() < p {
+				dsts[i] = target % n
+			} else {
+				dsts[i] = rng.Intn(n)
+			}
+		}
+		return dsts
+	}
+}

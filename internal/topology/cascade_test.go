@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"testing"
+
+	"minequiv/internal/midigraph"
+)
+
+func allOrders(k int) [][]int {
+	base := make([]int, k)
+	for i := range base {
+		base[i] = i + 1
+	}
+	var out [][]int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			cp := make([]int, k)
+			copy(cp, base)
+			out = append(out, cp)
+			return
+		}
+		for j := i; j < k; j++ {
+			base[i], base[j] = base[j], base[i]
+			rec(i + 1)
+			base[i], base[j] = base[j], base[i]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// TestAllButterflyCascadesEquivalent checks the corollary exhaustively:
+// every one of the (n-1)! butterfly stage orders yields a Banyan network
+// satisfying the full characterization.
+func TestAllButterflyCascadesEquivalent(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		orders := allOrders(n - 1)
+		for _, order := range orders {
+			nw, err := ButterflyCascade(n, order)
+			if err != nil {
+				t.Fatalf("n=%d order=%v: %v", n, order, err)
+			}
+			if ok, v := nw.Graph.IsBanyan(); !ok {
+				t.Fatalf("n=%d order=%v: not Banyan: %v", n, order, v)
+			}
+			if !midigraph.AllOK(nw.Graph.CheckPrefix()) || !midigraph.AllOK(nw.Graph.CheckSuffix()) {
+				t.Fatalf("n=%d order=%v: characterization fails", n, order)
+			}
+		}
+		if len(orders) != factorial(n-1) {
+			t.Fatalf("n=%d: %d orders enumerated", n, len(orders))
+		}
+	}
+}
+
+func factorial(k int) int {
+	f := 1
+	for i := 2; i <= k; i++ {
+		f *= i
+	}
+	return f
+}
+
+func TestButterflyCascadeKnownOrders(t *testing.T) {
+	n := 5
+	asc := []int{1, 2, 3, 4}
+	desc := []int{4, 3, 2, 1}
+	up, err := ButterflyCascade(n, asc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Graph.Equal(MustBuild(NameIndirectCube, n).Graph) {
+		t.Error("ascending cascade != indirect binary cube")
+	}
+	down, err := ButterflyCascade(n, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !down.Graph.Equal(MustBuild(NameModifiedDM, n).Graph) {
+		t.Error("descending cascade != modified data manipulator")
+	}
+}
+
+func TestButterflyCascadeErrors(t *testing.T) {
+	if _, err := ButterflyCascade(4, []int{1, 2}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := ButterflyCascade(4, []int{1, 2, 2}); err == nil {
+		t.Error("repeated index accepted")
+	}
+	if _, err := ButterflyCascade(4, []int{0, 1, 2}); err == nil {
+		t.Error("index 0 accepted (identity butterfly would double links)")
+	}
+	if _, err := ButterflyCascade(4, []int{1, 2, 4}); err == nil {
+		t.Error("oversized index accepted")
+	}
+}
