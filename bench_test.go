@@ -4,11 +4,13 @@
 package minequiv
 
 import (
+	"fmt"
 	"io"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/conn"
+	"minequiv/internal/engine"
 	"minequiv/internal/equiv"
 	"minequiv/internal/experiments"
 	"minequiv/internal/pipid"
@@ -52,7 +54,7 @@ func BenchmarkSixNetworksEquiv(b *testing.B) {
 
 // BenchmarkReverseConnection (T2): Proposition 1 constructive reverse.
 func BenchmarkReverseConnection(b *testing.B) {
-	c := conn.RandomIndependent(rand.New(rand.NewSource(1)), 12, false)
+	c := conn.RandomIndependent(rand.New(rand.NewPCG(1, 0)), 12, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Reverse(); err != nil {
@@ -109,17 +111,81 @@ func BenchmarkCounterexampleCheck(b *testing.B) {
 	}
 }
 
-// BenchmarkSimUniform (T7): one uniform wave through the fabric.
+// BenchmarkSimUniform (T7): one uniform wave through the fabric on a
+// reused WaveRunner — the steady-state hot loop, 0 allocs/op.
 func BenchmarkSimUniform(b *testing.B) {
 	f, err := sim.NewFabric(topology.MustBuild(topology.NameOmega, 8).LinkPerms)
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	pattern := sim.Uniform()
+	runner := f.NewWaveRunner()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.RunWave(pattern(f.N, rng), rng); err != nil {
+		if _, err := runner.RunTraffic(pattern, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineThroughput: the parallel trial engine at n=10 under
+// uniform traffic, swept over worker counts. On a multi-core machine
+// the workers=8 case should run >= 3x faster than workers=1; per-trial
+// PCG streams make the aggregates identical across the sweep.
+func BenchmarkEngineThroughput(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameOmega, 10).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const waves = 128
+	pattern := sim.Uniform()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := engine.RunWaves(f, pattern, waves, engine.Config{Workers: workers, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Delivered == 0 {
+					b.Fatal("engine delivered nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineWaveLoop pins the zero-allocation claim: the
+// steady-state wave loop (reused runner, engine-derived stream) must
+// report 0 allocs/op.
+func BenchmarkEngineWaveLoop(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameOmega, 10).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := f.NewWaveRunner()
+	rng := engine.NewRand(1, 0)
+	pattern := sim.Uniform()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunTraffic(pattern, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBuffered: sharded replications of the buffered model.
+func BenchmarkEngineBuffered(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameBaseline, 6).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.BufferedConfig{Load: 0.6, Queue: 4, Cycles: 200, Warmup: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.RunBuffered(f, cfg, 8, engine.Config{Seed: 3}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +197,7 @@ func BenchmarkSimBuffered(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewPCG(3, 0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.RunBuffered(sim.BufferedConfig{Load: 0.6, Queue: 4, Cycles: 200, Warmup: 20}, rng); err != nil {
@@ -156,7 +222,7 @@ func BenchmarkRouteAllPairs(b *testing.B) {
 
 // BenchmarkIndependenceDef and BenchmarkIndependenceFast (T9 ablation).
 func BenchmarkIndependenceDef(b *testing.B) {
-	c := conn.RandomIndependent(rand.New(rand.NewSource(4)), 9, true)
+	c := conn.RandomIndependent(rand.New(rand.NewPCG(4, 0)), 9, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !c.IsIndependentDef() {
@@ -166,7 +232,7 @@ func BenchmarkIndependenceDef(b *testing.B) {
 }
 
 func BenchmarkIndependenceFast(b *testing.B) {
-	c := conn.RandomIndependent(rand.New(rand.NewSource(4)), 9, true)
+	c := conn.RandomIndependent(rand.New(rand.NewPCG(4, 0)), 9, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !c.IsIndependent() {

@@ -1,20 +1,27 @@
 // Command minsim runs packet-level simulations of a multistage
-// interconnection network.
+// interconnection network on the parallel trial engine.
 //
 // Usage:
 //
 //	minsim -net omega -n 6 -model wave     -waves 500 -pattern uniform
 //	minsim -net flip  -n 6 -model buffered -load 0.7 -queue 4 -cycles 5000
 //	minsim -counter -n 6 -model wave       # simulate the tail-cycle counterexample
+//	minsim -sweep -n 6 -loads 0.2,0.4,0.6,0.8,1.0    # load x network grid
+//	minsim -patterns                       # list traffic scenarios
+//
+// Every run shards its trials across -workers goroutines (default
+// GOMAXPROCS); results are identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
+	"minequiv/internal/engine"
 	"minequiv/internal/randnet"
 	"minequiv/internal/sim"
 	"minequiv/internal/topology"
@@ -33,82 +40,181 @@ func run(args []string, w io.Writer) error {
 	counter := fs.Bool("counter", false, "simulate the tail-cycle counterexample instead of -net")
 	n := fs.Int("n", 6, "number of stages")
 	model := fs.String("model", "wave", "wave or buffered")
-	pattern := fs.String("pattern", "uniform", "uniform, permutation, bitreversal, hotspot")
+	pattern := fs.String("pattern", "uniform", "traffic scenario (see -patterns)")
+	listPatterns := fs.Bool("patterns", false, "list traffic scenarios and exit")
 	waves := fs.Int("waves", 500, "waves (wave model)")
-	load := fs.Float64("load", 0.6, "offered load (buffered model)")
+	reps := fs.Int("reps", 1, "independent replications (buffered model)")
+	load := fs.Float64("load", 0.6, "offered load (buffered model; bernoulli/bursty patterns)")
 	queue := fs.Int("queue", 4, "queue capacity (buffered model)")
 	cycles := fs.Int("cycles", 5000, "measured cycles (buffered model)")
 	warmup := fs.Int("warmup", 500, "warmup cycles (buffered model)")
 	hotspot := fs.Float64("hotspot", 0.3, "hot-spot probability (hotspot pattern)")
-	seed := fs.Int64("seed", 1, "rng seed")
+	burst := fs.Float64("burst", 0.2, "burst-wave probability (bursty pattern)")
+	idleLoad := fs.Float64("idleload", 0.1, "off-phase load (bursty pattern)")
+	seed := fs.Uint64("seed", 1, "root rng seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	sweep := fs.Bool("sweep", false, "run a load x network grid in one invocation")
+	nets := fs.String("nets", "", "comma-separated networks for -sweep (default: all)")
+	loads := fs.String("loads", "0.2,0.4,0.6,0.8,1.0", "comma-separated loads for -sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var f *sim.Fabric
-	var name string
-	if *counter {
-		perms, err := randnet.TailCycleLinkPerms(*n)
-		if err != nil {
-			return err
+	if *listPatterns {
+		for _, s := range sim.Scenarios() {
+			fmt.Fprintf(w, "%-12s %s\n", s.Name, s.Description)
 		}
-		fab, err := sim.NewFabric(perms)
-		if err != nil {
-			return err
-		}
-		f, name = fab, "tail-cycle"
-	} else {
-		nw, err := topology.Build(*netName, *n)
-		if err != nil {
-			return err
-		}
-		fab, err := sim.NewFabric(nw.LinkPerms)
-		if err != nil {
-			return err
-		}
-		f, name = fab, nw.Name
+		return nil
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
+	cfg := engine.Config{Workers: *workers, Seed: *seed}
+	params := sim.ScenarioParams{
+		Load: *load, HotProb: *hotspot, HotDst: 0,
+		BurstProb: *burst, IdleLoad: *idleLoad,
+	}
+
+	if *sweep {
+		// The sweep grid fixes its own traffic (Bernoulli at each grid
+		// load) and network list; reject flags it would silently drop.
+		if *counter {
+			return fmt.Errorf("-sweep runs the catalog networks; it cannot be combined with -counter")
+		}
+		patternSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "pattern" {
+				patternSet = true
+			}
+		})
+		if patternSet {
+			return fmt.Errorf("-sweep always uses bernoulli traffic at each grid load; -pattern is not supported")
+		}
+		return runSweep(w, *model, *n, *nets, *loads, *waves, *reps, *queue, *cycles, *warmup, cfg)
+	}
+
+	f, name, err := buildFabric(*counter, *netName, *n)
+	if err != nil {
+		return err
+	}
+
 	switch *model {
 	case "wave":
-		var tr sim.Traffic
-		switch *pattern {
-		case "uniform":
-			tr = sim.Uniform()
-		case "permutation":
-			tr = sim.RandomPermutation()
-		case "bitreversal":
-			tr = sim.BitReversal()
-		case "hotspot":
-			tr = sim.HotSpot(0, *hotspot)
-		default:
-			return fmt.Errorf("unknown pattern %q", *pattern)
+		sc, ok := sim.LookupScenario(*pattern)
+		if !ok {
+			return fmt.Errorf("unknown pattern %q (try -patterns)", *pattern)
 		}
-		th, err := f.Throughput(tr, *waves, rng)
+		st, err := engine.RunWaves(f, sc.New(params), *waves, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s n=%d (N=%d), %s traffic, %d waves: throughput %.4f\n",
-			name, *n, f.N, *pattern, *waves, th)
+		fmt.Fprintf(w, "%s n=%d (N=%d), %s traffic, %d waves: throughput %.4f ± %.4f\n",
+			name, *n, f.N, *pattern, *waves, st.Throughput.Mean, st.Throughput.CI95())
+		fmt.Fprintf(w, "  offered %d, delivered %d, dropped %d, misrouted %d\n",
+			st.Offered, st.Delivered, st.Dropped, st.Misrouted)
 		return nil
 
 	case "buffered":
-		res, err := f.RunBuffered(sim.BufferedConfig{
+		st, err := engine.RunBuffered(f, sim.BufferedConfig{
 			Load: *load, Queue: *queue, Cycles: *cycles, Warmup: *warmup,
-		}, rng)
+		}, *reps, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s n=%d (N=%d), buffered, load %.2f, queue %d, %d cycles:\n",
-			name, *n, f.N, *load, *queue, *cycles)
-		fmt.Fprintf(w, "  throughput   %.4f per terminal per cycle\n", res.Throughput)
-		fmt.Fprintf(w, "  mean latency %.2f cycles\n", res.MeanLatency)
+		fmt.Fprintf(w, "%s n=%d (N=%d), buffered, load %.2f, queue %d, %d cycles, %d reps:\n",
+			name, *n, f.N, *load, *queue, *cycles, *reps)
+		fmt.Fprintf(w, "  throughput   %.4f ± %.4f per terminal per cycle\n",
+			st.Throughput.Mean, st.Throughput.CI95())
+		fmt.Fprintf(w, "  mean latency %.2f ± %.2f cycles\n", st.Latency.Mean, st.Latency.CI95())
 		fmt.Fprintf(w, "  injected %d, delivered %d, rejected %d, in flight %d\n",
-			res.Injected, res.Delivered, res.Rejected, res.InFlight)
+			st.Injected, st.Delivered, st.Rejected, st.InFlight)
 		return nil
 
 	default:
 		return fmt.Errorf("unknown model %q", *model)
 	}
+}
+
+func buildFabric(counter bool, netName string, n int) (*sim.Fabric, string, error) {
+	if counter {
+		perms, err := randnet.TailCycleLinkPerms(n)
+		if err != nil {
+			return nil, "", err
+		}
+		f, err := sim.NewFabric(perms)
+		if err != nil {
+			return nil, "", err
+		}
+		return f, "tail-cycle", nil
+	}
+	nw, err := topology.Build(netName, n)
+	if err != nil {
+		return nil, "", err
+	}
+	f, err := sim.NewFabric(nw.LinkPerms)
+	if err != nil {
+		return nil, "", err
+	}
+	return f, nw.Name, nil
+}
+
+// runSweep evaluates a load x network grid in one invocation: Bernoulli
+// wave traffic per load for the wave model, or buffered runs per load.
+func runSweep(w io.Writer, model string, n int, nets, loads string, waves, reps, queue, cycles, warmup int, cfg engine.Config) error {
+	names := topology.Names()
+	if nets != "" {
+		names = strings.Split(nets, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+	var loadVals []float64
+	for _, s := range strings.Split(loads, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad load %q: %w", s, err)
+		}
+		loadVals = append(loadVals, v)
+	}
+	if len(loadVals) == 0 {
+		return fmt.Errorf("empty load list")
+	}
+	if model != "wave" && model != "buffered" {
+		return fmt.Errorf("unknown model %q", model)
+	}
+
+	fmt.Fprintf(w, "sweep: %s model, n=%d (N=%d), %d networks x %d loads\n",
+		model, n, 1<<uint(n), len(names), len(loadVals))
+	fmt.Fprintf(w, "%-26s", "network")
+	for _, l := range loadVals {
+		fmt.Fprintf(w, " load=%-8.2f", l)
+	}
+	fmt.Fprintln(w)
+	for _, name := range names {
+		f, fname, err := buildFabric(false, name, n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-26s", fname)
+		for _, l := range loadVals {
+			var th float64
+			switch model {
+			case "wave":
+				st, err := engine.RunWaves(f, sim.Bernoulli(l), waves, cfg)
+				if err != nil {
+					return err
+				}
+				th = st.Throughput.Mean
+			case "buffered":
+				st, err := engine.RunBuffered(f, sim.BufferedConfig{
+					Load: l, Queue: queue, Cycles: cycles, Warmup: warmup,
+				}, reps, cfg)
+				if err != nil {
+					return err
+				}
+				th = st.Throughput.Mean
+			}
+			fmt.Fprintf(w, " %-13.4f", th)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }

@@ -57,6 +57,81 @@ func TestCounterFlag(t *testing.T) {
 	}
 }
 
+func TestPatternListing(t *testing.T) {
+	out, err := runSim(t, "-patterns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"uniform", "tornado", "transpose", "neighbor", "bursty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pattern listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewPatterns(t *testing.T) {
+	for _, p := range []string{"tornado", "transpose", "neighbor", "bursty", "bernoulli"} {
+		if _, err := runSim(t, "-n", "3", "-model", "wave", "-waves", "5", "-pattern", p); err != nil {
+			t.Errorf("pattern %s: %v", p, err)
+		}
+	}
+}
+
+func TestSweepMode(t *testing.T) {
+	out, err := runSim(t, "-sweep", "-n", "3", "-waves", "10", "-loads", "0.5,1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sweep: wave model") || !strings.Contains(out, "load=0.50") {
+		t.Errorf("sweep output wrong:\n%s", out)
+	}
+	for _, net := range []string{"omega", "baseline", "flip"} {
+		if !strings.Contains(out, net) {
+			t.Errorf("sweep missing network %s:\n%s", net, out)
+		}
+	}
+	out, err = runSim(t, "-sweep", "-model", "buffered", "-n", "3", "-cycles", "100",
+		"-warmup", "10", "-nets", "omega,flip", "-loads", "0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "buffered model") || strings.Contains(out, "baseline") {
+		t.Errorf("restricted buffered sweep wrong:\n%s", out)
+	}
+	if _, err := runSim(t, "-sweep", "-n", "3", "-loads", "abc"); err == nil {
+		t.Error("bad load list accepted")
+	}
+	if _, err := runSim(t, "-sweep", "-n", "3", "-model", "nope"); err == nil {
+		t.Error("bad sweep model accepted")
+	}
+	// Flags the sweep would silently drop must be rejected, and list
+	// values must tolerate whitespace after commas.
+	if _, err := runSim(t, "-sweep", "-counter", "-n", "3"); err == nil {
+		t.Error("-sweep -counter accepted")
+	}
+	if _, err := runSim(t, "-sweep", "-pattern", "tornado", "-n", "3"); err == nil {
+		t.Error("-sweep -pattern accepted")
+	}
+	if _, err := runSim(t, "-sweep", "-n", "3", "-waves", "5",
+		"-nets", "omega, flip", "-loads", "0.5, 1.0"); err != nil {
+		t.Errorf("whitespace in list flags rejected: %v", err)
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	one, err := runSim(t, "-n", "4", "-waves", "50", "-workers", "1", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := runSim(t, "-n", "4", "-waves", "50", "-workers", "4", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != four {
+		t.Fatalf("output depends on worker count:\n%s\nvs\n%s", one, four)
+	}
+}
+
 func TestSimErrors(t *testing.T) {
 	if _, err := runSim(t, "-net", "nope", "-n", "3"); err == nil {
 		t.Error("unknown network accepted")

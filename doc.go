@@ -22,6 +22,7 @@
 //	internal/equiv       characterization check, isomorphism construction
 //	internal/route       bit-directed routing, admissibility
 //	internal/sim         packet simulation (wave and buffered models)
+//	internal/engine      parallel trial runner (sharded waves, CI stats)
 //	internal/randnet     random networks and counterexample families
 //	internal/ascii       text rendering of networks and figures
 //	internal/experiments the F*/T* experiment harness

@@ -1,14 +1,17 @@
 // Simulation: the systems-level meaning of topological equivalence. The
 // six classical networks, being isomorphic, are statistically identical
 // under uniform traffic; the non-equivalent tail-cycle Banyan is a
-// different machine.
+// different machine. All runs go through the parallel trial engine:
+// waves are sharded across GOMAXPROCS workers and every wave has its
+// own deterministic rng stream, so the numbers printed here do not
+// depend on core count.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
+	"minequiv/internal/engine"
 	"minequiv/internal/randnet"
 	"minequiv/internal/sim"
 	"minequiv/internal/topology"
@@ -17,19 +20,20 @@ import (
 func main() {
 	const n = 6
 	const waves = 400
+	cfg := engine.Config{Seed: 7}
 
-	fmt.Printf("uniform-traffic throughput, n=%d (N=%d), %d waves:\n", n, 1<<n, waves)
+	fmt.Printf("uniform-traffic throughput, n=%d (N=%d), %d waves (mean ± 95%% CI):\n", n, 1<<n, waves)
 	for _, name := range topology.Names() {
 		nw := topology.MustBuild(name, n)
 		fabric, err := sim.NewFabric(nw.LinkPerms)
 		if err != nil {
 			log.Fatal(err)
 		}
-		th, err := fabric.Throughput(sim.Uniform(), waves, rand.New(rand.NewSource(7)))
+		st, err := engine.RunWaves(fabric, sim.Uniform(), waves, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-28s %.4f\n", name, th)
+		fmt.Printf("  %-28s %.4f ± %.4f\n", name, st.Throughput.Mean, st.Throughput.CI95())
 	}
 
 	perms, err := randnet.TailCycleLinkPerms(n)
@@ -40,26 +44,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	th, err := fabric.Throughput(sim.Uniform(), waves, rand.New(rand.NewSource(7)))
+	st, err := engine.RunWaves(fabric, sim.Uniform(), waves, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  %-28s %.4f   (Banyan but NOT baseline-equivalent)\n", "tail-cycle", th)
+	fmt.Printf("  %-28s %.4f ± %.4f   (Banyan but NOT baseline-equivalent)\n",
+		"tail-cycle", st.Throughput.Mean, st.Throughput.CI95())
 
-	// Buffered model: latency under increasing load on the Baseline.
-	fmt.Printf("\nbuffered baseline n=%d: load sweep (queue 4, 3000 cycles):\n", n)
+	// The named scenario catalog on one fabric: how each adversarial
+	// pattern stresses the same hardware.
 	base, err := sim.NewFabric(topology.MustBuild(topology.NameBaseline, n).LinkPerms)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, load := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
-		res, err := base.RunBuffered(sim.BufferedConfig{
-			Load: load, Queue: 4, Cycles: 3000, Warmup: 300,
-		}, rand.New(rand.NewSource(11)))
+	fmt.Printf("\nbaseline n=%d across the scenario catalog (%d waves each):\n", n, waves)
+	for _, sc := range sim.Scenarios() {
+		st, err := engine.RunWaves(base, sc.New(sim.DefaultScenarioParams()), waves, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  load %.1f: throughput %.4f, mean latency %6.2f cycles\n",
-			load, res.Throughput, res.MeanLatency)
+		fmt.Printf("  %-12s %.4f ± %.4f\n", sc.Name, st.Throughput.Mean, st.Throughput.CI95())
+	}
+
+	// Buffered model: latency under increasing load, replicated runs.
+	fmt.Printf("\nbuffered baseline n=%d: load sweep (queue 4, 3000 cycles, 4 reps):\n", n)
+	for _, load := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		st, err := engine.RunBuffered(base, sim.BufferedConfig{
+			Load: load, Queue: 4, Cycles: 3000, Warmup: 300,
+		}, 4, engine.Config{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  load %.1f: throughput %.4f ± %.4f, mean latency %6.2f ± %.2f cycles\n",
+			load, st.Throughput.Mean, st.Throughput.CI95(), st.Latency.Mean, st.Latency.CI95())
 	}
 }

@@ -1,0 +1,3 @@
+module minequiv
+
+go 1.24

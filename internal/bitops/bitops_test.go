@@ -1,7 +1,7 @@
 package bitops
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 )
@@ -263,11 +263,11 @@ func TestSwapInvolution(t *testing.T) {
 
 // Property: InsertBit/DeleteBit round-trip at random positions.
 func TestInsertDeleteProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	for trial := 0; trial < 2000; trial++ {
-		w := rng.Intn(20) + 1
+		w := rng.IntN(20) + 1
 		x := rng.Uint64() & Mask(w)
-		i := rng.Intn(w + 1)
+		i := rng.IntN(w + 1)
 		b := rng.Uint64() & 1
 		ins := InsertBit(x, i, b)
 		if DeleteBit(ins, i) != x {

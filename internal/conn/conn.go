@@ -17,7 +17,7 @@ package conn
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"minequiv/internal/bitops"
 	"minequiv/internal/gf2"

@@ -1,7 +1,7 @@
 package conn
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/bitops"
@@ -26,9 +26,9 @@ func TestPIPIDConnectionsIndependentExhaustive(t *testing.T) {
 }
 
 func TestPIPIDConnectionsIndependentSampled(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	for trial := 0; trial < 100; trial++ {
-		n := rng.Intn(9) + 2
+		n := rng.IntN(9) + 2
 		theta := pipid.Random(rng, n)
 		c := FromIndexPerm(theta)
 		if !c.IsIndependent() {
@@ -120,9 +120,9 @@ func TestDoubleLinksIffPortFixed(t *testing.T) {
 // TestBPCConnectionsIndependent extends §4 to bit-permute-complement
 // permutations.
 func TestBPCConnectionsIndependent(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	for trial := 0; trial < 150; trial++ {
-		n := rng.Intn(6) + 2
+		n := rng.IntN(6) + 2
 		theta := pipid.Random(rng, n)
 		mask := rng.Uint64() & bitops.Mask(n)
 		b, err := pipid.NewBPC(theta, mask)

@@ -1,0 +1,199 @@
+// Package engine is the parallel trial runner on top of internal/sim:
+// it shards independent wave simulations (and buffered-model
+// replications) across workers, gives each trial its own
+// deterministically-derived PCG stream and each worker its own reusable
+// scratch state, and aggregates delivered/dropped/latency statistics
+// with means and confidence intervals.
+//
+// Determinism is the core contract: trial t always runs with the rng
+// NewRand(seed, t) and per-trial results are stored by index, then
+// reduced sequentially in index order. Aggregate statistics are
+// therefore byte-identical for any worker count, which is what makes
+// parallel runs trustworthy replacements for the old sequential loops.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"minequiv/internal/sim"
+)
+
+// Config parametrizes one engine run.
+type Config struct {
+	Workers int    // goroutines; <= 0 means GOMAXPROCS
+	Seed    uint64 // root seed; trial t uses stream NewRand(Seed, t)
+}
+
+func (c Config) workers(trials int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > trials {
+		w = trials
+	}
+	return w
+}
+
+// shard runs fn(t) for every t in [0, trials) across the configured
+// worker count, each worker claiming trial indices from a shared atomic
+// counter. fn must write its result into per-index storage; the first
+// error aborts remaining trials.
+func shard(cfg Config, trials int, scratch func() any, fn func(t int, scratch any) error) error {
+	nw := cfg.workers(trials)
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for wk := 0; wk < nw; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			sc := scratch()
+			for !failed.Load() {
+				t := int(next.Add(1)) - 1
+				if t >= trials {
+					return
+				}
+				if err := fn(t, sc); err != nil {
+					errs[wk] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaveStats aggregates a sharded run of independent waves.
+type WaveStats struct {
+	Waves     int
+	Offered   int
+	Delivered int
+	Dropped   int
+	Misrouted int
+	// Throughput is the pooled delivered/offered ratio (the quantity the
+	// analytic blocking recurrence models), with dispersion from the
+	// linearized ratio-estimator variance over waves. For patterns that
+	// offer a constant packet count per wave this coincides with the
+	// mean and sample std of per-wave delivered fractions; for variable
+	// -load patterns (bernoulli, bursty) the pooled ratio weights every
+	// packet equally instead of every wave.
+	Throughput Stats
+}
+
+// RunWaves pushes `waves` independent waves of the pattern through the
+// fabric, sharded across cfg.Workers goroutines. The pattern must be a
+// pure function of (dsts, rng) — every pattern in the sim registry is —
+// since all workers share it with distinct buffers and rngs.
+func RunWaves(f *sim.Fabric, pattern sim.Traffic, waves int, cfg Config) (WaveStats, error) {
+	if waves <= 0 {
+		return WaveStats{}, fmt.Errorf("engine: waves must be positive")
+	}
+	type trial struct{ offered, delivered, dropped, misrouted int }
+	results := make([]trial, waves)
+	err := shard(cfg, waves,
+		func() any { return f.NewWaveRunner() },
+		func(t int, scratch any) error {
+			runner := scratch.(*sim.WaveRunner)
+			res, err := runner.RunTraffic(pattern, NewRand(cfg.Seed, uint64(t)))
+			if err != nil {
+				return err
+			}
+			results[t] = trial{res.Offered, res.Delivered, res.Dropped, res.Misrouted}
+			return nil
+		})
+	if err != nil {
+		return WaveStats{}, err
+	}
+	out := WaveStats{Waves: waves}
+	for _, r := range results {
+		out.Offered += r.offered
+		out.Delivered += r.delivered
+		out.Dropped += r.dropped
+		out.Misrouted += r.misrouted
+	}
+	if out.Offered > 0 {
+		m := float64(out.Delivered) / float64(out.Offered)
+		// Linearized variance of the ratio-of-sums estimator:
+		// Var(m) ~= n/(n-1) * sum_t (d_t - m*o_t)^2 / (sum_t o_t)^2.
+		// Std is scaled so that Stats.CI95 = 1.96*Std/sqrt(N) yields
+		// exactly 1.96*sqrt(Var); for constant offered load it reduces
+		// to the sample std of per-wave delivered fractions.
+		n := 0
+		var sq float64
+		for _, r := range results {
+			if r.offered == 0 {
+				continue
+			}
+			n++
+			d := float64(r.delivered) - m*float64(r.offered)
+			sq += d * d
+		}
+		st := Stats{N: n, Mean: m}
+		if n > 1 {
+			st.Std = float64(n) / float64(out.Offered) * math.Sqrt(sq/float64(n-1))
+		}
+		out.Throughput = st
+	}
+	return out, nil
+}
+
+// BufferedStats aggregates independent replications of the buffered
+// (FIFO store-and-forward) model.
+type BufferedStats struct {
+	Replications int
+	Injected     int
+	Rejected     int
+	Delivered    int
+	InFlight     int
+	Throughput   Stats // per-replication delivered per terminal per cycle
+	Latency      Stats // per-replication mean delivery latency, cycles
+}
+
+// RunBuffered runs `reps` independent replications of the buffered model
+// (distinct rng streams, same configuration), sharded across workers.
+func RunBuffered(f *sim.Fabric, bc sim.BufferedConfig, reps int, cfg Config) (BufferedStats, error) {
+	if reps <= 0 {
+		return BufferedStats{}, fmt.Errorf("engine: replications must be positive")
+	}
+	results := make([]sim.BufferedResult, reps)
+	err := shard(cfg, reps,
+		func() any { return nil },
+		func(t int, _ any) error {
+			res, err := f.RunBuffered(bc, NewRand(cfg.Seed, uint64(t)))
+			if err != nil {
+				return err
+			}
+			results[t] = res
+			return nil
+		})
+	if err != nil {
+		return BufferedStats{}, err
+	}
+	out := BufferedStats{Replications: reps}
+	throughputs := make([]float64, reps)
+	latencies := make([]float64, reps)
+	for t, r := range results {
+		out.Injected += r.Injected
+		out.Rejected += r.Rejected
+		out.Delivered += r.Delivered
+		out.InFlight += r.InFlight
+		throughputs[t] = r.Throughput
+		latencies[t] = r.MeanLatency
+	}
+	out.Throughput = summarize(throughputs)
+	out.Latency = summarize(latencies)
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"minequiv/internal/sim"
+	"minequiv/internal/topology"
+)
+
+func fabricFor(t testing.TB, name string, n int) *sim.Fabric {
+	t.Helper()
+	f, err := sim.NewFabric(topology.MustBuild(name, n).LinkPerms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestWaveDeterminismAcrossWorkers is the engine's core contract: the
+// same root seed produces byte-identical aggregate statistics for 1
+// worker and for K workers, because trial t always gets stream
+// NewRand(seed, t) and reduction happens in trial order.
+func TestWaveDeterminismAcrossWorkers(t *testing.T) {
+	f := fabricFor(t, topology.NameOmega, 6)
+	for _, pattern := range []sim.Traffic{sim.Uniform(), sim.Bernoulli(0.6), sim.Bursty(0.3, 1.0, 0.1)} {
+		base, err := RunWaves(f, pattern, 96, Config{Workers: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 17} {
+			got, err := RunWaves(f, pattern, 96, Config{Workers: workers, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base {
+				t.Fatalf("workers=%d diverged:\n%+v\n%+v", workers, got, base)
+			}
+		}
+	}
+}
+
+// TestBufferedDeterminismAcrossWorkers: same contract for the buffered
+// replication model.
+func TestBufferedDeterminismAcrossWorkers(t *testing.T) {
+	f := fabricFor(t, topology.NameBaseline, 4)
+	cfg := sim.BufferedConfig{Load: 0.7, Queue: 3, Cycles: 300, Warmup: 30}
+	base, err := RunBuffered(f, cfg, 12, Config{Workers: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 12} {
+		got, err := RunBuffered(f, cfg, 12, Config{Workers: workers, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Fatalf("workers=%d diverged:\n%+v\n%+v", workers, got, base)
+		}
+	}
+}
+
+// TestSeedChangesResults: different root seeds must not reproduce the
+// same sample path.
+func TestSeedChangesResults(t *testing.T) {
+	f := fabricFor(t, topology.NameOmega, 5)
+	a, err := RunWaves(f, sim.Uniform(), 32, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWaves(f, sim.Uniform(), 32, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("distinct seeds produced identical aggregates")
+	}
+}
+
+// TestWaveStatsTrackAnalytic: the parallel engine reproduces the same
+// physics as the sequential simulator (Patel's blocking recurrence).
+func TestWaveStatsTrackAnalytic(t *testing.T) {
+	n := 6
+	f := fabricFor(t, topology.NameOmega, n)
+	st, err := RunWaves(f, sim.Uniform(), 400, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.AnalyticUniformThroughput(n)
+	if math.Abs(st.Throughput.Mean-want) > 0.02 {
+		t.Fatalf("engine throughput %v vs analytic %v", st.Throughput.Mean, want)
+	}
+	if st.Offered != st.Delivered+st.Dropped+st.Misrouted {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	if st.Throughput.N != 400 || st.Throughput.Std <= 0 || st.Throughput.CI95() <= 0 {
+		t.Fatalf("degenerate stats: %+v", st.Throughput)
+	}
+}
+
+// TestBufferedStatsAggregate sanity-checks sums and per-replication
+// dispersion.
+func TestBufferedStatsAggregate(t *testing.T) {
+	f := fabricFor(t, topology.NameFlip, 4)
+	cfg := sim.BufferedConfig{Load: 0.4, Queue: 4, Cycles: 500, Warmup: 50}
+	st, err := RunBuffered(f, cfg, 6, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replications != 6 || st.Delivered == 0 || st.Injected == 0 {
+		t.Fatalf("empty aggregate: %+v", st)
+	}
+	if st.Latency.Mean < float64(f.Spans) {
+		t.Fatalf("mean latency %v below pipeline depth %d", st.Latency.Mean, f.Spans)
+	}
+	if math.Abs(st.Throughput.Mean-0.4) > 0.1 {
+		t.Fatalf("low-load throughput %v far from offered 0.4", st.Throughput.Mean)
+	}
+}
+
+// TestThroughputIsPooledRatio: for variable-load traffic the headline
+// throughput must be the pooled delivered/offered ratio (what the
+// analytic recurrence models), not an unweighted mean of per-wave
+// fractions — near-idle waves deliver almost everything and would
+// otherwise dominate the average.
+func TestThroughputIsPooledRatio(t *testing.T) {
+	f := fabricFor(t, topology.NameOmega, 6)
+	st, err := RunWaves(f, sim.Bursty(0.2, 1.0, 0.05), 200, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(st.Delivered) / float64(st.Offered)
+	if math.Abs(st.Throughput.Mean-want) > 1e-12 {
+		t.Fatalf("throughput %v != pooled ratio %v", st.Throughput.Mean, want)
+	}
+	if st.Throughput.CI95() <= 0 {
+		t.Fatalf("degenerate CI: %+v", st.Throughput)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	f := fabricFor(t, topology.NameOmega, 3)
+	if _, err := RunWaves(f, sim.Uniform(), 0, Config{}); err == nil {
+		t.Error("zero waves accepted")
+	}
+	if _, err := RunBuffered(f, sim.BufferedConfig{Load: 0.5, Queue: 1, Cycles: 10}, 0, Config{}); err == nil {
+		t.Error("zero replications accepted")
+	}
+	// A trial error (out-of-range destination) must propagate out of
+	// the worker pool.
+	bad := sim.Traffic(func(dsts []int, _ *rand.Rand) {
+		for i := range dsts {
+			dsts[i] = len(dsts) // one past the last terminal
+		}
+	})
+	if _, err := RunWaves(f, bad, 16, Config{Workers: 4}); err == nil {
+		t.Error("out-of-range traffic accepted")
+	}
+	// An invalid buffered config must propagate too.
+	if _, err := RunBuffered(f, sim.BufferedConfig{Load: 2, Queue: 1, Cycles: 10}, 4, Config{Workers: 2}); err == nil {
+		t.Error("invalid buffered config accepted")
+	}
+}
+
+// TestNewRandDeterminism: NewRand is a pure function of (root, stream),
+// and distinct streams decorrelate.
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(9, 4), NewRand(9, 4)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (root, stream) diverged")
+		}
+	}
+	c, d := NewRand(9, 5), NewRand(10, 4)
+	same := 0
+	e := NewRand(9, 4)
+	for i := 0; i < 64; i++ {
+		x := e.Uint64()
+		if c.Uint64() == x {
+			same++
+		}
+		if d.Uint64() == x {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Fatalf("neighboring streams correlated: %d collisions", same)
+	}
+}

@@ -1,0 +1,32 @@
+package engine
+
+import "math/rand/v2"
+
+// splitmix64 is the canonical 64-bit finalizer used to decorrelate
+// nearby seeds; two inputs differing in one bit produce statistically
+// independent outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SeedPair derives the two PCG seed words for stream `stream` of a root
+// seed. Every trial of an engine run gets its own stream, so results
+// depend only on (root, trial index) — never on which worker ran the
+// trial or in what order.
+func SeedPair(root, stream uint64) (uint64, uint64) {
+	hi := splitmix64(root ^ 0x6d696e6571756976) // "minequiv"
+	lo := splitmix64(hi + stream)
+	return splitmix64(lo ^ root), splitmix64(lo + 0x9e3779b97f4a7c15)
+}
+
+// NewRand returns the deterministic PCG stream for (root, stream). This
+// is the repo-wide seed-derivation discipline: all non-test consumers
+// construct their generators here (or inline with rand.NewPCG for
+// single-stream uses).
+func NewRand(root, stream uint64) *rand.Rand {
+	hi, lo := SeedPair(root, stream)
+	return rand.New(rand.NewPCG(hi, lo))
+}

@@ -1,0 +1,44 @@
+package engine
+
+import "math"
+
+// Stats summarizes one per-trial metric.
+type Stats struct {
+	N    int // trials contributing a value
+	Mean float64
+	Std  float64 // sample standard deviation (0 when N < 2)
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean.
+func (s Stats) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// summarize reduces xs with a two-pass mean/variance so the result is a
+// pure function of the slice contents in order — identical however many
+// workers produced the values.
+func summarize(xs []float64) Stats {
+	s := Stats{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(s.N-1))
+	return s
+}

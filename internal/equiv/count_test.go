@@ -1,7 +1,7 @@
 package equiv
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/randnet"
@@ -30,7 +30,7 @@ func TestBaselineAutomorphismCount(t *testing.T) {
 func TestIsomorphismCountInvariant(t *testing.T) {
 	// The number of isomorphisms g -> h equals |Aut| for any isomorphic
 	// pair, so scrambles and other classical networks give the same count.
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	n := 3
 	want := BaselineAutomorphismFormula(n)
 	base := topology.Baseline(n)
@@ -107,7 +107,7 @@ func TestBaselineAutomorphismFormulaPanics(t *testing.T) {
 }
 
 func TestCanonicalForm(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	n := 5
 	base := topology.Baseline(n)
 	for _, name := range topology.Names() {

@@ -1,7 +1,7 @@
 package equiv
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"strings"
 	"testing"
 
@@ -71,7 +71,7 @@ func TestSixClassicalNetworksEquivalent(t *testing.T) {
 func TestTheorem3OnRandomIndependentBanyans(t *testing.T) {
 	// Theorem 3: Banyan + independent connections => isomorphic to
 	// Baseline. Construct the isomorphism explicitly for random samples.
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	for n := 2; n <= 8; n++ {
 		for trial := 0; trial < 4; trial++ {
 			g, _, err := randnet.IndependentBanyan(rng, n, 1000)
@@ -91,7 +91,7 @@ func TestTheorem3OnRandomIndependentBanyans(t *testing.T) {
 
 func TestScrambledNetworksStillEquivalent(t *testing.T) {
 	// Isomorphism is invariant under arbitrary per-stage relabeling.
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	for n := 2; n <= 8; n++ {
 		g := topology.MustBuild(topology.NameOmega, n).Graph
 		for trial := 0; trial < 3; trial++ {
@@ -110,7 +110,7 @@ func TestScrambledNetworksStillEquivalent(t *testing.T) {
 func TestLabelingAgreesWithOracle(t *testing.T) {
 	// For small n, the constructive labeling and the exhaustive oracle
 	// must agree on both positive and negative instances.
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewPCG(3, 0))
 	for n := 2; n <= 4; n++ {
 		base := topology.Baseline(n)
 		// Positive: scrambled classical networks.
@@ -219,7 +219,7 @@ func TestAreEquivalent(t *testing.T) {
 		t.Errorf("tail~head = %v,%v (want false)", ok, err)
 	}
 	// tail vs itself (scrambled): isomorphic, decided by oracle.
-	sg, _ := randnet.Scramble(rand.New(rand.NewSource(4)), tail)
+	sg, _ := randnet.Scramble(rand.New(rand.NewPCG(4, 0)), tail)
 	if ok, err := AreEquivalent(tail, sg); err != nil || !ok {
 		t.Errorf("tail~scrambled(tail) = %v,%v (want true)", ok, err)
 	}
@@ -236,7 +236,7 @@ func TestAreEquivalent(t *testing.T) {
 }
 
 func TestOracleFindsAutomorphismsAndRejects(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewPCG(5, 0))
 	for n := 2; n <= 4; n++ {
 		g := topology.Baseline(n)
 		// Identity case.
@@ -272,7 +272,7 @@ func TestOracleFindsAutomorphismsAndRejects(t *testing.T) {
 }
 
 func TestIsomorphismAlgebra(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := rand.New(rand.NewPCG(6, 0))
 	n := 5
 	g := topology.MustBuild(topology.NameIndirectCube, n).Graph
 	sg, _ := randnet.Scramble(rng, g)
@@ -368,7 +368,7 @@ func BenchmarkIsoToBaseline(b *testing.B) {
 
 func BenchmarkOracle(b *testing.B) {
 	g := topology.Baseline(4)
-	sg, _ := randnet.Scramble(rand.New(rand.NewSource(7)), g)
+	sg, _ := randnet.Scramble(rand.New(rand.NewPCG(7, 0)), g)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok := FindIsomorphism(g, sg); !ok {

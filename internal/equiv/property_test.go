@@ -1,7 +1,7 @@
 package equiv
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -14,9 +14,9 @@ import (
 // isomorphism verifies. This exercises the whole positive pipeline.
 func TestQuickScrambleCanonicalize(t *testing.T) {
 	names := topology.Names()
-	f := func(seed int64, nRaw, nameRaw uint8) bool {
+	f := func(seed uint64, nRaw, nameRaw uint8) bool {
 		n := int(nRaw%5) + 2 // 2..6
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewPCG(seed, 0))
 		g := topology.MustBuild(names[int(nameRaw)%len(names)], n).Graph
 		sg, _ := randnet.Scramble(rng, g)
 		iso, err := IsoToBaseline(sg)
@@ -34,7 +34,7 @@ func TestQuickScrambleCanonicalize(t *testing.T) {
 // returned isomorphism verifies in the opposite direction.
 func TestQuickIsoBetweenSymmetric(t *testing.T) {
 	names := topology.Names()
-	f := func(seed int64, aRaw, bRaw uint8) bool {
+	f := func(seed uint64, aRaw, bRaw uint8) bool {
 		n := 4
 		a := topology.MustBuild(names[int(aRaw)%len(names)], n).Graph
 		b := topology.MustBuild(names[int(bRaw)%len(names)], n).Graph
@@ -52,9 +52,9 @@ func TestQuickIsoBetweenSymmetric(t *testing.T) {
 // Property: Check never panics and is consistent on arbitrary valid
 // graphs (the predicate equals the conjunction of its parts).
 func TestQuickCheckConsistency(t *testing.T) {
-	f := func(seed int64, nRaw uint8) bool {
+	f := func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw%5) + 2
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewPCG(seed, 0))
 		g := randnet.RandomValidGraph(rng, n)
 		r := Check(g)
 		banyan, _ := g.IsBanyan()
@@ -83,9 +83,9 @@ func TestQuickCheckConsistency(t *testing.T) {
 // must admit a verified isomorphism (the theorem, fuzz-style); those
 // that do not must be rejected by IsoToBaseline.
 func TestQuickTheoremOnRandomGraphs(t *testing.T) {
-	f := func(seed int64, nRaw uint8) bool {
+	f := func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw%4) + 2
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewPCG(seed, 0))
 		g := randnet.RandomValidGraph(rng, n)
 		iso, err := IsoToBaseline(g)
 		if IsBaselineEquivalent(g) {

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 
 	"minequiv/internal/census"
+	"minequiv/internal/engine"
 	"minequiv/internal/equiv"
 	"minequiv/internal/midigraph"
 	"minequiv/internal/randnet"
@@ -64,7 +64,7 @@ func RunT12(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		got, err := f.Throughput(sim.Uniform(), 400, rand.New(rand.NewSource(int64(100+n))))
+		got, err := f.Throughput(sim.Uniform(), 400, engine.NewRand(uint64(100+n), 0))
 		if err != nil {
 			return err
 		}
@@ -79,7 +79,7 @@ func RunT12(w io.Writer) error {
 		return err
 	}
 	for _, load := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
-		got, err := f.Throughput(sim.Bernoulli(load), 400, rand.New(rand.NewSource(55)))
+		got, err := f.Throughput(sim.Bernoulli(load), 400, engine.NewRand(55, 0))
 		if err != nil {
 			return err
 		}

@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"minequiv/internal/ascii"
 	"minequiv/internal/conn"
+	"minequiv/internal/engine"
 	"minequiv/internal/equiv"
 	"minequiv/internal/pipid"
 	"minequiv/internal/randnet"
@@ -45,7 +45,7 @@ func RunF3(w io.Writer) error {
 		fmt.Fprintf(w, "window (%d..%d):\n", i, n)
 		fmt.Fprint(w, ascii.ComponentTable(g.ComponentStageTable(i-1, n-1), i-1, true))
 	}
-	rng := rand.New(rand.NewSource(3))
+	rng := engine.NewRand(3, 0)
 	rg, _, err := randnet.IndependentBanyan(rng, n, 2000)
 	if err != nil {
 		return err

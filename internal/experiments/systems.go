@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
 	"minequiv/internal/conn"
+	"minequiv/internal/engine"
 	"minequiv/internal/equiv"
 	"minequiv/internal/perm"
 	"minequiv/internal/randnet"
@@ -17,7 +17,10 @@ import (
 
 // RunT7 is the substituted system evaluation: packet-level simulation of
 // the six equivalent networks and the non-equivalent tail-cycle Banyan,
-// under uniform, hot-spot and buffered Bernoulli traffic.
+// under uniform, hot-spot and bit-reversal wave traffic and buffered
+// Bernoulli traffic. All cells run on the parallel trial engine: every
+// wave and every buffered replication has its own seed-derived rng
+// stream, so the table is identical for any worker count.
 func RunT7(w io.Writer) error {
 	n := 6
 	const waves = 300
@@ -36,43 +39,54 @@ func RunT7(w io.Writer) error {
 	}
 	targets = append(targets, target{"tail-cycle (non-equiv)", tailPerms})
 
-	fmt.Fprintf(w, "unbuffered wave model, n=%d (N=%d), %d waves per cell\n", n, 1<<uint(n), waves)
-	fmt.Fprintf(w, "%-26s %-12s %-12s %-12s\n", "network", "uniform", "hotspot50%", "bitreversal")
+	cfg := engine.Config{Seed: 42}
+	cells := []struct {
+		header  string
+		traffic sim.Traffic
+	}{
+		{"uniform", sim.Uniform()},
+		{"hotspot50%", sim.HotSpot(0, 0.5)},
+		{"bitreversal", sim.BitReversal()},
+	}
+	fmt.Fprintf(w, "unbuffered wave model, n=%d (N=%d), %d waves per cell (mean ± 95%% CI)\n", n, 1<<uint(n), waves)
+	fmt.Fprintf(w, "%-26s", "network")
+	for _, c := range cells {
+		fmt.Fprintf(w, " %-18s", c.header)
+	}
+	fmt.Fprintln(w)
 	for _, tg := range targets {
 		f, err := sim.NewFabric(tg.perms)
 		if err != nil {
 			return err
 		}
-		rng := rand.New(rand.NewSource(42))
-		uni, err := f.Throughput(sim.Uniform(), waves, rng)
-		if err != nil {
-			return err
+		fmt.Fprintf(w, "%-26s", tg.name)
+		for _, c := range cells {
+			st, err := engine.RunWaves(f, c.traffic, waves, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %.4f ± %.4f  ", st.Throughput.Mean, st.Throughput.CI95())
 		}
-		hot, err := f.Throughput(sim.HotSpot(0, 0.5), waves, rng)
-		if err != nil {
-			return err
-		}
-		rev, err := f.Throughput(sim.BitReversal(), waves, rng)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-26s %-12.4f %-12.4f %-12.4f\n", tg.name, uni, hot, rev)
+		fmt.Fprintln(w)
 	}
 
-	fmt.Fprintf(w, "\nbuffered model (queue 4, load 0.6, 2000 cycles + 200 warmup)\n")
-	fmt.Fprintf(w, "%-26s %-12s %-14s %-10s\n", "network", "throughput", "mean latency", "rejected")
+	const reps = 4
+	fmt.Fprintf(w, "\nbuffered model (queue 4, load 0.6, 2000 cycles + 200 warmup, %d reps)\n", reps)
+	fmt.Fprintf(w, "%-26s %-20s %-20s %-10s\n", "network", "throughput", "mean latency", "rejected")
 	for _, tg := range targets {
 		f, err := sim.NewFabric(tg.perms)
 		if err != nil {
 			return err
 		}
-		res, err := f.RunBuffered(sim.BufferedConfig{
+		st, err := engine.RunBuffered(f, sim.BufferedConfig{
 			Load: 0.6, Queue: 4, Cycles: 2000, Warmup: 200,
-		}, rand.New(rand.NewSource(43)))
+		}, reps, engine.Config{Seed: 43})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-26s %-12.4f %-14.2f %-10d\n", tg.name, res.Throughput, res.MeanLatency, res.Rejected)
+		fmt.Fprintf(w, "%-26s %.4f ± %-10.4f %.2f ± %-10.2f %-10d\n",
+			tg.name, st.Throughput.Mean, st.Throughput.CI95(),
+			st.Latency.Mean, st.Latency.CI95(), st.Rejected)
 	}
 	fmt.Fprintf(w, "prediction: the six equivalent networks agree within sampling noise;\n")
 	fmt.Fprintf(w, "uniform throughput tracks the banyan blocking recursion, far below 1.\n")
@@ -129,7 +143,7 @@ func RunT8(w io.Writer) error {
 // RunT9 is the ablation of the independence decision procedure: the
 // O(4^m) definition versus the O(2^m * m) affine inference.
 func RunT9(w io.Writer) error {
-	rng := rand.New(rand.NewSource(91))
+	rng := engine.NewRand(91, 0)
 	fmt.Fprintf(w, "%-6s %-10s %-14s %-14s %-10s\n", "m", "cells", "definition", "affine form", "speedup")
 	for m := 4; m <= 12; m++ {
 		c := conn.RandomIndependent(rng, m, true)

@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
 	"minequiv/internal/conn"
+	"minequiv/internal/engine"
 	"minequiv/internal/equiv"
 	"minequiv/internal/midigraph"
 	"minequiv/internal/pipid"
@@ -48,7 +48,7 @@ func RunT1(w io.Writer) error {
 // RunT2 reproduces Proposition 1: the reverse of a random independent
 // connection is again independent, in both structural cases.
 func RunT2(w io.Writer) error {
-	rng := rand.New(rand.NewSource(21))
+	rng := engine.NewRand(21, 0)
 	const trials = 50
 	fmt.Fprintf(w, "%-6s %-10s %-10s %-12s %-12s %-10s\n",
 		"m", "case", "trials", "rev valid", "rev indep", "arcs match")
@@ -86,7 +86,7 @@ func RunT2(w io.Writer) error {
 // RunT3 reproduces Lemma 2: random Banyans built from independent
 // connections satisfy every suffix (and prefix) window property.
 func RunT3(w io.Writer) error {
-	rng := rand.New(rand.NewSource(22))
+	rng := engine.NewRand(22, 0)
 	fmt.Fprintf(w, "%-6s %-8s %-14s %-14s\n", "n", "samples", "P(*,n) holds", "P(1,*) holds")
 	for n := 2; n <= 9; n++ {
 		const samples = 10
@@ -112,7 +112,7 @@ func RunT3(w io.Writer) error {
 // RunT4 reproduces Theorem 3: every Banyan graph built from independent
 // connections admits an explicit verified isomorphism onto Baseline.
 func RunT4(w io.Writer) error {
-	rng := rand.New(rand.NewSource(23))
+	rng := engine.NewRand(23, 0)
 	fmt.Fprintf(w, "%-6s %-8s %-10s %-14s\n", "n", "samples", "verified", "mean time")
 	for n := 2; n <= 10; n++ {
 		const samples = 5
@@ -170,7 +170,7 @@ func RunT5(w io.Writer) error {
 		fmt.Fprintf(w, "%-6d %-10d %-14d %-14d %-16d\n", n, len(all), indep, dbl, betaOK)
 	}
 	fmt.Fprintf(w, "prediction: independent = thetas; double-link = (n-1)! (theta with theta^-1(0)=0)\n")
-	rng := rand.New(rand.NewSource(24))
+	rng := engine.NewRand(24, 0)
 	fmt.Fprintf(w, "\nsampled larger widths:\n%-6s %-10s %-14s\n", "n", "samples", "independent")
 	for n := 6; n <= 14; n += 2 {
 		const samples = 50

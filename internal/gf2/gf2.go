@@ -11,7 +11,7 @@ package gf2
 import (
 	"fmt"
 	"math/bits"
-	"math/rand"
+	"math/rand/v2"
 	"strings"
 
 	"minequiv/internal/bitops"

@@ -1,7 +1,7 @@
 package midigraph
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/perm"
@@ -85,7 +85,7 @@ func TestZeroPathViolation(t *testing.T) {
 }
 
 func TestBanyanInvariantUnderRelabel(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewPCG(3, 0))
 	g := buildBaseline(t, 5)
 	for trial := 0; trial < 10; trial++ {
 		perms := make([]perm.Perm, g.Stages())

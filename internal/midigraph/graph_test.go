@@ -1,7 +1,7 @@
 package midigraph
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"strings"
 	"testing"
 
@@ -203,7 +203,7 @@ func TestReverseInvolution(t *testing.T) {
 
 func TestRelabelIsomorphic(t *testing.T) {
 	g := buildBaseline(t, 4)
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	perms := make([]perm.Perm, g.Stages())
 	for s := range perms {
 		perms[s] = perm.Random(rng, g.CellsPerStage())

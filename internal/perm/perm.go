@@ -6,7 +6,7 @@ package perm
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 	"strings"
 )
@@ -173,7 +173,7 @@ func (p Perm) FixedPoints() []uint64 {
 func Random(rng *rand.Rand, n int) Perm {
 	p := Identity(n)
 	for i := n - 1; i > 0; i-- {
-		j := rng.Intn(i + 1)
+		j := rng.IntN(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
 	return p

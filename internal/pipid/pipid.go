@@ -14,7 +14,7 @@ package pipid
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"strings"
 
 	"minequiv/internal/bitops"

@@ -1,7 +1,7 @@
 package pipid
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/bitops"
@@ -104,9 +104,9 @@ func TestBitReversalMatchesReverse(t *testing.T) {
 }
 
 func TestComposeApplyAgreement(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	for trial := 0; trial < 200; trial++ {
-		w := rng.Intn(10) + 1
+		w := rng.IntN(10) + 1
 		a := Random(rng, w)
 		b := Random(rng, w)
 		x := rng.Uint64() & bitops.Mask(w)
@@ -122,9 +122,9 @@ func TestComposeApplyAgreement(t *testing.T) {
 }
 
 func TestInverse(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	for trial := 0; trial < 100; trial++ {
-		w := rng.Intn(10) + 1
+		w := rng.IntN(10) + 1
 		a := Random(rng, w)
 		if !a.Compose(a.Inverse()).IsIdentity() || !a.Inverse().Compose(a).IsIdentity() {
 			t.Fatal("inverse law fails")
@@ -161,9 +161,9 @@ func TestPortSource(t *testing.T) {
 }
 
 func TestDetectRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewPCG(3, 0))
 	for trial := 0; trial < 200; trial++ {
-		w := rng.Intn(8) + 1
+		w := rng.IntN(8) + 1
 		a := Random(rng, w)
 		got, ok := Detect(a.ToPerm())
 		if !ok {
@@ -235,9 +235,9 @@ func TestAllCounts(t *testing.T) {
 }
 
 func TestBPC(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewPCG(4, 0))
 	for trial := 0; trial < 200; trial++ {
-		w := rng.Intn(8) + 1
+		w := rng.IntN(8) + 1
 		theta := Random(rng, w)
 		mask := rng.Uint64() & bitops.Mask(w)
 		b, err := NewBPC(theta, mask)

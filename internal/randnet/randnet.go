@@ -7,7 +7,7 @@ package randnet
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"minequiv/internal/conn"
 	"minequiv/internal/midigraph"
@@ -32,7 +32,7 @@ func IndependentBanyan(rng *rand.Rand, n int, maxTries int) (*midigraph.Graph, [
 	for try := 0; try < maxTries; try++ {
 		conns := make([]conn.Connection, n-1)
 		for s := range conns {
-			conns[s] = conn.RandomIndependent(rng, m, rng.Intn(2) == 0)
+			conns[s] = conn.RandomIndependent(rng, m, rng.IntN(2) == 0)
 		}
 		g, err := conn.BuildGraph(conns)
 		if err != nil {

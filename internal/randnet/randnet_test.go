@@ -1,7 +1,7 @@
 package randnet
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/midigraph"
@@ -9,7 +9,7 @@ import (
 )
 
 func TestIndependentBanyanProperties(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	for n := 2; n <= 7; n++ {
 		for trial := 0; trial < 5; trial++ {
 			g, conns, err := IndependentBanyan(rng, n, 500)
@@ -44,7 +44,7 @@ func TestIndependentBanyanProperties(t *testing.T) {
 }
 
 func TestIndependentBanyanRejectsBadArgs(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	if _, _, err := IndependentBanyan(rng, 1, 10); err == nil {
 		t.Error("n=1 accepted")
 	}
@@ -54,7 +54,7 @@ func TestIndependentBanyanRejectsBadArgs(t *testing.T) {
 }
 
 func TestPIPIDNetworkProperties(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewPCG(3, 0))
 	for n := 2; n <= 7; n++ {
 		nw, err := PIPIDNetwork(rng, n, 500)
 		if err != nil {
@@ -75,7 +75,7 @@ func TestPIPIDNetworkProperties(t *testing.T) {
 }
 
 func TestScramblePreservesStructure(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewPCG(4, 0))
 	g, _, err := IndependentBanyan(rng, 5, 500)
 	if err != nil {
 		t.Fatal(err)
@@ -154,9 +154,9 @@ func TestNonBanyan(t *testing.T) {
 }
 
 func TestRandomValidGraph(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewPCG(5, 0))
 	for trial := 0; trial < 20; trial++ {
-		n := rng.Intn(5) + 2
+		n := rng.IntN(5) + 2
 		g := RandomValidGraph(rng, n)
 		if err := g.Validate(); err != nil {
 			t.Fatalf("random graph invalid: %v", err)
@@ -165,7 +165,7 @@ func TestRandomValidGraph(t *testing.T) {
 }
 
 func BenchmarkIndependentBanyan(b *testing.B) {
-	rng := rand.New(rand.NewSource(6))
+	rng := rand.New(rand.NewPCG(6, 0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := IndependentBanyan(rng, 8, 2000); err != nil {

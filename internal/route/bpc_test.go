@@ -1,7 +1,7 @@
 package route
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/bitops"
@@ -51,7 +51,7 @@ func randomBanyanBPCStages(t testing.TB, rng *rand.Rand, n int) []pipid.BPC {
 }
 
 func TestBPCRouterMatchesDP(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	for n := 2; n <= 5; n++ {
 		for trial := 0; trial < 5; trial++ {
 			stages := randomBanyanBPCStages(t, rng, n)
@@ -122,7 +122,7 @@ func TestBPCRouterZeroMaskEqualsPlain(t *testing.T) {
 }
 
 func TestBPCRouterAllPairs(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	stages := randomBanyanBPCStages(t, rng, 5)
 	r, err := NewBPCRouter(stages)
 	if err != nil {

@@ -1,7 +1,7 @@
 package route
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/randnet"
@@ -13,7 +13,7 @@ import (
 // Banyan PIPID networks admit bit-directed routing whose paths agree
 // with the reachability reference on every pair.
 func TestRandomPIPIDNetworksRoute(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := rand.New(rand.NewPCG(42, 0))
 	for n := 2; n <= 6; n++ {
 		for trial := 0; trial < 3; trial++ {
 			nw, err := randnet.PIPIDNetwork(rng, n, 2000)
@@ -75,7 +75,7 @@ func TestRouterRejectsNonBanyanPIPID(t *testing.T) {
 // TestRoutingAgreesWithSimulator: a single packet simulated through the
 // fabric lands where the router says it should.
 func TestRoutingAgreesWithSimulator(t *testing.T) {
-	rng := rand.New(rand.NewSource(43))
+	rng := rand.New(rand.NewPCG(43, 0))
 	for _, name := range topology.Names() {
 		nw := topology.MustBuild(name, 5)
 		r, err := NewRouter(nw.IndexPerms)
@@ -87,8 +87,8 @@ func TestRoutingAgreesWithSimulator(t *testing.T) {
 			t.Fatal(err)
 		}
 		for trial := 0; trial < 20; trial++ {
-			src := rng.Intn(f.N)
-			dst := rng.Intn(f.N)
+			src := rng.IntN(f.N)
+			dst := rng.IntN(f.N)
 			if _, err := r.Route(uint64(src), uint64(dst)); err != nil {
 				t.Fatal(err)
 			}

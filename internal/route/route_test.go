@@ -1,7 +1,7 @@
 package route
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/perm"
@@ -151,7 +151,7 @@ func TestRealizedPermutationsAdmissible(t *testing.T) {
 	// Any permutation realized by explicit switch settings is admissible,
 	// on every catalog network; and distinct settings realize distinct
 	// permutations (Banyan property at the terminal level).
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewPCG(7, 0))
 	for _, name := range topology.Names() {
 		r, _ := routersFor(t, name, 4)
 		h := r.N() / 2
@@ -161,7 +161,7 @@ func TestRealizedPermutationsAdmissible(t *testing.T) {
 			for s := range settings {
 				settings[s] = make([]uint64, h)
 				for c := range settings[s] {
-					settings[s][c] = uint64(rng.Intn(2))
+					settings[s][c] = uint64(rng.IntN(2))
 				}
 			}
 			pi, err := r.RealizedPermutation(settings)
@@ -297,7 +297,7 @@ func TestConflictDetectionDetail(t *testing.T) {
 func TestRandomPermutationAdmissibilityAgreesWithSim(t *testing.T) {
 	// Cross-check Admissible against brute-force path overlap: pi is
 	// admissible iff no two routed paths share an outlink.
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	r, _ := routersFor(t, topology.NameBaseline, 4)
 	for trial := 0; trial < 50; trial++ {
 		pi := perm.Random(rng, r.N())
@@ -347,7 +347,7 @@ func BenchmarkPermutationConflicts(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pi := perm.Random(rand.New(rand.NewSource(2)), r.N())
+	pi := perm.Random(rand.New(rand.NewPCG(2, 0)), r.N())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.PermutationConflicts(pi); err != nil {

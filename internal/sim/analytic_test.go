@@ -2,7 +2,7 @@ package sim
 
 import (
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 
 	"minequiv/internal/topology"
@@ -57,7 +57,7 @@ func TestSimulatorTracksAnalyticModel(t *testing.T) {
 		want := AnalyticUniformThroughput(n)
 		for _, name := range []string{topology.NameOmega, topology.NameBaseline} {
 			f := fabricFor(t, name, n)
-			got, err := f.Throughput(Uniform(), 400, rand.New(rand.NewSource(int64(n))))
+			got, err := f.Throughput(Uniform(), 400, rand.New(rand.NewPCG(uint64(n), 0)))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,7 +75,7 @@ func TestBernoulliLoadTracksAnalytic(t *testing.T) {
 	f := fabricFor(t, topology.NameFlip, n)
 	for _, load := range []float64{0.25, 0.5, 0.75} {
 		want := AnalyticUniformThroughputLoaded(n, load) / load
-		rng := rand.New(rand.NewSource(9))
+		rng := rand.New(rand.NewPCG(9, 0))
 		// Measure delivered fraction of offered packets.
 		got, err := f.Throughput(Bernoulli(load), 600, rng)
 		if err != nil {

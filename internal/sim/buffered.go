@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 )
 
 // BufferedConfig parametrizes the queued (store-and-forward) simulation.
@@ -82,11 +82,11 @@ func (f *Fabric) RunBuffered(cfg BufferedConfig, rng *rand.Rand) (BufferedResult
 				// Arbitration order: random when both contend for the
 				// same port, otherwise both can go.
 				first, second := 0, 1
-				if req[0] >= 0 && req[0] == req[1] && rng.Intn(2) == 1 {
+				if req[0] >= 0 && req[0] == req[1] && rng.IntN(2) == 1 {
 					first, second = 1, 0
 				}
 				granted := [2]bool{}
-				for _, in := range []int{first, second} {
+				for _, in := range [2]int{first, second} {
 					if req[in] < 0 {
 						continue
 					}
@@ -129,7 +129,7 @@ func (f *Fabric) RunBuffered(cfg BufferedConfig, rng *rand.Rand) (BufferedResult
 			if cfg.HotSpot > 0 && rng.Float64() < cfg.HotSpot {
 				dst = cfg.HotDst % f.N
 			} else {
-				dst = rng.Intn(f.N)
+				dst = rng.IntN(f.N)
 			}
 			q := &queues[0][(t>>1)*2+(t&1)]
 			if len(q.pkts) >= cfg.Queue {

@@ -6,11 +6,18 @@
 // FIFO-queued (buffered) switch models and the classic traffic patterns.
 // Isomorphic networks produce statistically identical results under
 // uniform traffic — the downstream consequence of the paper's theorem.
+//
+// The hot path is the wave model. A WaveRunner owns all per-wave scratch
+// state (packet list, claim table, arbitration shuffle, per-stage drop
+// counters) so that steady-state simulation allocates nothing; the
+// parallel trial engine in internal/engine gives each worker its own
+// runner. Fabric.RunWave and Fabric.Throughput remain as convenience
+// wrappers for one-off use.
 package sim
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"minequiv/internal/perm"
 )
@@ -26,13 +33,17 @@ type Fabric struct {
 	// port[s][cell*N + dst] = output port (0/1) that leads from cell at
 	// stage s toward output terminal dst; 0xFF when unreachable.
 	port [][]uint8
+	// ambiguous records whether some (stage, cell, dst) had BOTH ports
+	// leading to dst — a multi-path (non-Banyan) fabric. The compiled
+	// tables collapse the choice toward port 0, so this must be noted at
+	// compile time to be observable later.
+	ambiguous bool
 }
 
-// NewFabric compiles the routing tables. It fails if some (cell, dst)
-// pair at some stage has both ports leading to dst (non-Banyan ambiguity)
-// — unreachable pairs are tolerated and marked, so non-Banyan networks
-// can still be simulated for comparison, with ambiguous choices resolved
-// toward port 0.
+// NewFabric compiles the routing tables. Unreachable (cell, dst) pairs
+// are tolerated and marked, so non-Banyan networks can still be
+// simulated for comparison; pairs where both ports lead to dst
+// (multi-path ambiguity) are resolved toward port 0 and flagged.
 func NewFabric(perms []perm.Perm) (*Fabric, error) {
 	n := len(perms) + 1
 	N := 1 << uint(n)
@@ -82,6 +93,9 @@ func NewFabric(perms []perm.Perm) (*Fabric, error) {
 				r0 := cur[child0][dst/64]>>(uint(dst)%64)&1 == 1
 				r1 := cur[child1][dst/64]>>(uint(dst)%64)&1 == 1
 				switch {
+				case r0 && r1:
+					f.ambiguous = true
+					f.port[s][c*N+dst] = 0
 				case r0:
 					f.port[s][c*N+dst] = 0
 				case r1:
@@ -98,14 +112,17 @@ func NewFabric(perms []perm.Perm) (*Fabric, error) {
 
 // Banyan reports whether the compiled fabric has full unique-path
 // reachability: every (stage-0 cell, destination) pair routable and no
-// stage offered both ports. (Cheap structural re-check on the tables.)
+// stage ever offered both ports for one destination. Reach sets only
+// grow walking backward, so a reachability gap anywhere surfaces as a
+// gap at stage 0 — scanning stage 0 suffices; path multiplicity is
+// recorded during compilation because the tables collapse it.
 func (f *Fabric) Banyan() bool {
-	for s := range f.port {
-		for i, p := range f.port[s] {
-			_ = i
-			if s == 0 && p == 0xFF {
-				return false
-			}
+	if f.ambiguous {
+		return false
+	}
+	for _, p := range f.port[0] {
+		if p == 0xFF {
+			return false
 		}
 	}
 	return true
@@ -126,27 +143,57 @@ type WaveResult struct {
 	Misrouted int   // packets that reached a wrong terminal (non-Banyan fabrics)
 }
 
+// flying is a packet in transit during one wave.
+type flying struct {
+	src, dst int
+	link     uint64
+}
+
+// WaveRunner owns the scratch state of the wave model so that repeated
+// waves through one fabric are allocation-free in steady state. A runner
+// is NOT safe for concurrent use; create one per goroutine (the parallel
+// engine gives each worker its own).
+type WaveRunner struct {
+	f         *Fabric
+	pkts      []flying
+	order     []int32
+	claimed   []int32 // outlink -> packet index claiming it
+	dropStage []int
+	dsts      []int // destination buffer for RunTraffic
+}
+
+// NewWaveRunner returns a runner with all buffers sized for f.
+func (f *Fabric) NewWaveRunner() *WaveRunner {
+	return &WaveRunner{
+		f:         f,
+		pkts:      make([]flying, 0, f.N),
+		order:     make([]int32, f.N),
+		claimed:   make([]int32, f.N),
+		dropStage: make([]int, f.Spans),
+		dsts:      make([]int, f.N),
+	}
+}
+
+// Fabric returns the fabric this runner simulates.
+func (r *WaveRunner) Fabric() *Fabric { return r.f }
+
 // RunWave pushes one batch of packets through the network: dsts[i] is
 // the destination of the packet injected at input terminal i, or -1 for
 // no packet. Two packets wanting the same switch output collide; the
 // rng picks the winner fairly and the loser is dropped.
-func (f *Fabric) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
+//
+// The returned WaveResult's DropStage slice is owned by the runner and
+// overwritten by the next call; copy it if it must outlive the wave.
+func (r *WaveRunner) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
+	f := r.f
 	if len(dsts) != f.N {
 		return WaveResult{}, fmt.Errorf("sim: %d destinations, want %d", len(dsts), f.N)
 	}
-	res := WaveResult{DropStage: make([]int, f.Spans)}
-	type flying struct {
-		src, dst int
-		link     uint64
+	for i := range r.dropStage {
+		r.dropStage[i] = 0
 	}
-	cap0 := 0
-	for _, d := range dsts {
-		if d >= 0 {
-			cap0++
-		}
-	}
-	res.Offered = cap0
-	pkts := make([]flying, 0, cap0)
+	res := WaveResult{DropStage: r.dropStage}
+	pkts := r.pkts[:0]
 	for src, dst := range dsts {
 		if dst < 0 {
 			continue
@@ -156,15 +203,22 @@ func (f *Fabric) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
 		}
 		pkts = append(pkts, flying{src: src, dst: dst, link: uint64(src)})
 	}
-	claimed := make([]int32, f.N) // outlink -> packet index claiming it
+	res.Offered = len(pkts)
+	claimed := r.claimed[:f.N]
 	for s := 0; s < f.Spans; s++ {
 		for i := range claimed {
 			claimed[i] = -1
 		}
-		keep := pkts[:0]
 		// First pass: claims with fair tie-breaking. Iterate in random
 		// order so neither low inputs nor early arrivals are favored.
-		order := rng.Perm(len(pkts))
+		order := r.order[:len(pkts)]
+		for i := range order {
+			order[i] = int32(i)
+		}
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.IntN(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
 		for _, idx := range order {
 			p := pkts[idx]
 			cell := p.link >> 1
@@ -183,9 +237,10 @@ func (f *Fabric) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
 				pkts[idx].dst = -1
 				continue
 			}
-			claimed[out] = int32(idx)
+			claimed[out] = idx
 			pkts[idx].link = out
 		}
+		keep := pkts[:0]
 		for _, p := range pkts {
 			if p.dst < 0 {
 				continue
@@ -204,7 +259,22 @@ func (f *Fabric) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
 			res.Misrouted++
 		}
 	}
+	r.pkts = pkts[:0]
 	return res, nil
+}
+
+// RunTraffic generates one wave of the pattern into the runner's
+// destination buffer and runs it. Allocation-free for allocation-free
+// patterns (every registry pattern qualifies).
+func (r *WaveRunner) RunTraffic(pattern Traffic, rng *rand.Rand) (WaveResult, error) {
+	pattern(r.dsts, rng)
+	return r.RunWave(r.dsts, rng)
+}
+
+// RunWave is the one-shot convenience form; it allocates a fresh runner
+// per call. Hot loops should hold a WaveRunner instead.
+func (f *Fabric) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
+	return f.NewWaveRunner().RunWave(dsts, rng)
 }
 
 // Throughput runs `waves` independent waves of the given traffic pattern
@@ -213,10 +283,10 @@ func (f *Fabric) Throughput(pattern Traffic, waves int, rng *rand.Rand) (float64
 	if waves <= 0 {
 		return 0, fmt.Errorf("sim: waves must be positive")
 	}
+	r := f.NewWaveRunner()
 	totalDelivered, totalOffered := 0, 0
 	for w := 0; w < waves; w++ {
-		dsts := pattern(f.N, rng)
-		res, err := f.RunWave(dsts, rng)
+		res, err := r.RunTraffic(pattern, rng)
 		if err != nil {
 			return 0, err
 		}
