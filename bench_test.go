@@ -176,17 +176,43 @@ func BenchmarkEngineWaveLoop(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineBuffered: sharded replications of the buffered model.
+// BenchmarkEngineBuffered: sharded replications of the buffered model
+// on per-worker reused runners.
 func BenchmarkEngineBuffered(b *testing.B) {
 	f, err := sim.NewFabric(topology.MustBuild(topology.NameBaseline, 6).LinkPerms)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := sim.BufferedConfig{Load: 0.6, Queue: 4, Cycles: 200, Warmup: 20}
+	cfg := sim.BufferedConfig{Load: 0.6, Queue: 4, Lanes: 2, Cycles: 200, Warmup: 20}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.RunBuffered(f, cfg, 8, engine.Config{Seed: 3}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBufferedRunner pins the buffered engine's zero-allocation
+// claim: the steady-state replication loop (reused BufferedRunner,
+// engine-derived stream) must report 0 allocs/op. CI gates on this.
+func BenchmarkBufferedRunner(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameOmega, 6).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := f.NewBufferedRunner(sim.BufferedConfig{
+		Load: 0.8, Queue: 4, Lanes: 2, Cycles: 200, Warmup: 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := engine.NewRand(5, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runner.Run(rng)
+		if res.Delivered == 0 {
+			b.Fatal("nothing delivered")
 		}
 	}
 }

@@ -1,0 +1,158 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON artifact and optionally enforces an
+// allocation-regression gate: with -fail-on-allocs, any named
+// steady-state benchmark reporting allocs/op > 0 fails the run. CI uses
+// it to emit BENCH_<pr>.json and keep the hot loops allocation-free.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchmem . | benchjson -o BENCH.json \
+//	    -fail-on-allocs BenchmarkEngineWaveLoop,BenchmarkBufferedRunner
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line. Name strips the trailing
+// -GOMAXPROCS suffix; because a sub-benchmark's own numeric tail is
+// indistinguishable from that suffix (and absent entirely under
+// -cpu 1), RawName keeps the line's exact name and the gate matches
+// either form.
+type Bench struct {
+	Name        string  `json:"name"`
+	RawName     string  `json:"raw_name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	HasMem      bool    `json:"has_mem"` // line carried -benchmem columns
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "-", "output path for the JSON artifact (- = stdout)")
+	gate := fs.String("fail-on-allocs", "", "comma-separated benchmark names that must report 0 allocs/op")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	benches, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found on input")
+	}
+	blob, err := json.MarshalIndent(benches, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		if _, err := stdout.Write(blob); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	return checkGate(benches, *gate)
+}
+
+// parse extracts benchmark result lines from `go test -bench` output.
+func parse(in io.Reader) ([]Bench, error) {
+	var benches []Bench
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name  iterations  value ns/op  [bytes B/op  allocs allocs/op]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the -GOMAXPROCS suffix, keeping sub-benchmark paths.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		b := Bench{Name: name, RawName: fields[0], Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+				b.HasMem = true
+			case "allocs/op":
+				b.AllocsPerOp = v
+				b.HasMem = true
+			}
+		}
+		benches = append(benches, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return benches, nil
+}
+
+// checkGate fails if any named benchmark is missing, lacks -benchmem
+// columns, or allocates in steady state.
+func checkGate(benches []Bench, gate string) error {
+	if gate == "" {
+		return nil
+	}
+	byName := map[string]Bench{}
+	for _, b := range benches {
+		byName[b.Name] = b
+		byName[b.RawName] = b
+	}
+	var bad []string
+	for _, name := range strings.Split(gate, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := byName[name]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("%s: not found in input", name))
+		case !b.HasMem:
+			bad = append(bad, fmt.Sprintf("%s: no -benchmem columns", name))
+		case b.AllocsPerOp > 0:
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op, want 0", name, b.AllocsPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("allocation gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: minequiv
+cpu: Intel(R) Xeon(R)
+BenchmarkEngineWaveLoop-8   	   14175	     79895 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBufferedRunner-8   	     229	   5175954 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineThroughput/workers=4-8         	     100	    123456 ns/op
+BenchmarkLeaky-8            	     100	      9999 ns/op	      64 B/op	       3 allocs/op
+PASS
+ok  	minequiv	2.292s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benches, want 4", len(benches))
+	}
+	wave := benches[0]
+	if wave.Name != "BenchmarkEngineWaveLoop" || wave.RawName != "BenchmarkEngineWaveLoop-8" ||
+		wave.Iterations != 14175 ||
+		wave.NsPerOp != 79895 || wave.AllocsPerOp != 0 || !wave.HasMem {
+		t.Fatalf("wave row wrong: %+v", wave)
+	}
+	if benches[2].Name != "BenchmarkEngineThroughput/workers=4" || benches[2].HasMem {
+		t.Fatalf("sub-benchmark row wrong: %+v", benches[2])
+	}
+	if benches[3].AllocsPerOp != 3 || benches[3].BytesPerOp != 64 {
+		t.Fatalf("leaky row wrong: %+v", benches[3])
+	}
+}
+
+func TestGate(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkGate(benches, "BenchmarkEngineWaveLoop,BenchmarkBufferedRunner"); err != nil {
+		t.Fatalf("clean gate failed: %v", err)
+	}
+	if err := checkGate(benches, "BenchmarkLeaky"); err == nil {
+		t.Fatal("allocating benchmark passed the gate")
+	}
+	if err := checkGate(benches, "BenchmarkMissing"); err == nil {
+		t.Fatal("missing benchmark passed the gate")
+	}
+	if err := checkGate(benches, "BenchmarkEngineThroughput/workers=4"); err == nil {
+		t.Fatal("benchmark without -benchmem columns passed the gate")
+	}
+	if err := checkGate(benches, ""); err != nil {
+		t.Fatalf("empty gate failed: %v", err)
+	}
+	// A sub-benchmark with a numeric tail and no -GOMAXPROCS suffix
+	// (e.g. under -cpu 1) must still be addressable by its raw name.
+	cpu1, err := parse(strings.NewReader(
+		"BenchmarkSweep/queue-4   \t     100\t      9999 ns/op\t       0 B/op\t       0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkGate(cpu1, "BenchmarkSweep/queue-4"); err != nil {
+		t.Fatalf("raw-name gate match failed: %v", err)
+	}
+}
+
+func TestRunWritesArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	var stdout bytes.Buffer
+	err := run([]string{"-o", path, "-fail-on-allocs", "BenchmarkEngineWaveLoop"},
+		strings.NewReader(sample), &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benches []Bench
+	if err := json.Unmarshal(blob, &benches); err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("artifact has %d rows, want 4", len(benches))
+	}
+	// Gate failure still writes the artifact, then errors.
+	err = run([]string{"-o", path, "-fail-on-allocs", "BenchmarkLeaky"},
+		strings.NewReader(sample), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op, want 0") {
+		t.Fatalf("gate error missing: %v", err)
+	}
+	// Stdout mode.
+	stdout.Reset()
+	if err := run([]string{}, strings.NewReader(sample), &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkBufferedRunner") {
+		t.Fatal("stdout artifact missing rows")
+	}
+	// Empty input is an error.
+	if err := run([]string{}, strings.NewReader("PASS\n"), &stdout); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

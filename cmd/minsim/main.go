@@ -4,13 +4,18 @@
 // Usage:
 //
 //	minsim -net omega -n 6 -model wave     -waves 500 -pattern uniform
-//	minsim -net flip  -n 6 -model buffered -load 0.7 -queue 4 -cycles 5000
+//	minsim -net flip  -n 6 -model buffered -load 0.7 -queue 4 -lanes 2 -cycles 5000
+//	minsim -net flip  -n 6 -model buffered -pattern transpose -load 0.5
 //	minsim -counter -n 6 -model wave       # simulate the tail-cycle counterexample
 //	minsim -sweep -n 6 -loads 0.2,0.4,0.6,0.8,1.0    # load x network grid
+//	minsim -sweep -model buffered -n 6 -queues 2,8 -lanegrid 1,4   # load x queue x lanes
 //	minsim -patterns                       # list traffic scenarios
 //
 // Every run shards its trials across -workers goroutines (default
-// GOMAXPROCS); results are identical for any worker count.
+// GOMAXPROCS); results are identical for any worker count. The buffered
+// model injects by the named scenario: load-aware scenarios (bernoulli,
+// bursty) consume -load themselves, every other pattern is thinned to
+// the offered -load.
 package main
 
 import (
@@ -45,7 +50,8 @@ func run(args []string, w io.Writer) error {
 	waves := fs.Int("waves", 500, "waves (wave model)")
 	reps := fs.Int("reps", 1, "independent replications (buffered model)")
 	load := fs.Float64("load", 0.6, "offered load (buffered model; bernoulli/bursty patterns)")
-	queue := fs.Int("queue", 4, "queue capacity (buffered model)")
+	queue := fs.Int("queue", 4, "queue capacity per lane (buffered model)")
+	lanes := fs.Int("lanes", 1, "FIFO lanes per switch input port (buffered model)")
 	cycles := fs.Int("cycles", 5000, "measured cycles (buffered model)")
 	warmup := fs.Int("warmup", 500, "warmup cycles (buffered model)")
 	hotspot := fs.Float64("hotspot", 0.3, "hot-spot probability (hotspot pattern)")
@@ -56,6 +62,8 @@ func run(args []string, w io.Writer) error {
 	sweep := fs.Bool("sweep", false, "run a load x network grid in one invocation")
 	nets := fs.String("nets", "", "comma-separated networks for -sweep (default: all)")
 	loads := fs.String("loads", "0.2,0.4,0.6,0.8,1.0", "comma-separated loads for -sweep")
+	queues := fs.String("queues", "", "comma-separated queue depths for buffered -sweep (default: -queue)")
+	laneGrid := fs.String("lanegrid", "", "comma-separated lane counts for buffered -sweep (default: -lanes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,7 +96,15 @@ func run(args []string, w io.Writer) error {
 		if patternSet {
 			return fmt.Errorf("-sweep always uses bernoulli traffic at each grid load; -pattern is not supported")
 		}
-		return runSweep(w, *model, *n, *nets, *loads, *waves, *reps, *queue, *cycles, *warmup, cfg)
+		if *model != "buffered" && (*queues != "" || *laneGrid != "") {
+			return fmt.Errorf("-queues/-lanegrid apply to the buffered sweep only")
+		}
+		return runSweep(w, sweepSpec{
+			model: *model, n: *n, nets: *nets, loads: *loads,
+			queues: *queues, laneGrid: *laneGrid,
+			waves: *waves, reps: *reps, queue: *queue, lanes: *lanes,
+			cycles: *cycles, warmup: *warmup,
+		}, cfg)
 	}
 
 	f, name, err := buildFabric(*counter, *netName, *n)
@@ -113,19 +129,31 @@ func run(args []string, w io.Writer) error {
 		return nil
 
 	case "buffered":
+		tr, err := bufferedTraffic(*pattern, *load, params)
+		if err != nil {
+			return err
+		}
 		st, err := engine.RunBuffered(f, sim.BufferedConfig{
-			Load: *load, Queue: *queue, Cycles: *cycles, Warmup: *warmup,
+			Load: *load, Queue: *queue, Lanes: *lanes, Cycles: *cycles, Warmup: *warmup,
+			Pattern: tr,
 		}, *reps, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s n=%d (N=%d), buffered, load %.2f, queue %d, %d cycles, %d reps:\n",
-			name, *n, f.N, *load, *queue, *cycles, *reps)
+		fmt.Fprintf(w, "%s n=%d (N=%d), buffered, %s traffic, load %.2f, queue %d, lanes %d, %d cycles, %d reps:\n",
+			name, *n, f.N, *pattern, *load, *queue, *lanes, *cycles, *reps)
 		fmt.Fprintf(w, "  throughput   %.4f ± %.4f per terminal per cycle\n",
 			st.Throughput.Mean, st.Throughput.CI95())
-		fmt.Fprintf(w, "  mean latency %.2f ± %.2f cycles\n", st.Latency.Mean, st.Latency.CI95())
-		fmt.Fprintf(w, "  injected %d, delivered %d, rejected %d, in flight %d\n",
-			st.Injected, st.Delivered, st.Rejected, st.InFlight)
+		fmt.Fprintf(w, "  mean latency %.2f ± %.2f cycles (p50 %.0f, p95 %.0f, p99 %.0f)\n",
+			st.Latency.Mean, st.Latency.CI95(),
+			st.LatencyP50.Mean, st.LatencyP95.Mean, st.LatencyP99.Mean)
+		fmt.Fprintf(w, "  injected %d, delivered %d, rejected %d, dropped %d, in flight %d\n",
+			st.Injected, st.Delivered, st.Rejected, st.Dropped, st.InFlight)
+		fmt.Fprintf(w, "  max lane occupancy %d; mean stage occupancy", st.MaxOccupancy)
+		for _, occ := range st.StageOccupancy {
+			fmt.Fprintf(w, " %.1f", occ)
+		}
+		fmt.Fprintln(w)
 		return nil
 
 	default:
@@ -156,65 +184,145 @@ func buildFabric(counter bool, netName string, n int) (*sim.Fabric, string, erro
 	return f, nw.Name, nil
 }
 
-// runSweep evaluates a load x network grid in one invocation: Bernoulli
-// wave traffic per load for the wave model, or buffered runs per load.
-func runSweep(w io.Writer, model string, n int, nets, loads string, waves, reps, queue, cycles, warmup int, cfg engine.Config) error {
+// bufferedTraffic resolves the injection pattern for the buffered
+// model: load-aware scenarios (bernoulli, bursty) consume the load via
+// their params; every other scenario is thinned to the offered load.
+func bufferedTraffic(pattern string, load float64, params sim.ScenarioParams) (sim.Traffic, error) {
+	sc, ok := sim.LookupScenario(pattern)
+	if !ok {
+		return nil, fmt.Errorf("unknown pattern %q (try -patterns)", pattern)
+	}
+	tr := sc.New(params)
+	if !sc.LoadAware {
+		tr = sim.Thinned(load, tr)
+	}
+	return tr, nil
+}
+
+// sweepSpec carries the grid axes of one -sweep invocation.
+type sweepSpec struct {
+	model            string
+	n                int
+	nets             string
+	loads            string
+	queues, laneGrid string // buffered model only
+	waves, reps      int
+	queue, lanes     int
+	cycles, warmup   int
+}
+
+func parseFloats(list string) ([]float64, error) {
+	var vals []float64
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", s, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+func parseInts(list string, fallback int) ([]int, error) {
+	if list == "" {
+		return []int{fallback}, nil
+	}
+	var vals []int
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", s, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// runSweep evaluates a grid in one invocation: Bernoulli wave traffic
+// per load for the wave model (network x load), or buffered runs over
+// the full load x queue x lanes grid per network.
+func runSweep(w io.Writer, sp sweepSpec, cfg engine.Config) error {
 	names := topology.Names()
-	if nets != "" {
-		names = strings.Split(nets, ",")
+	if sp.nets != "" {
+		names = strings.Split(sp.nets, ",")
 		for i := range names {
 			names[i] = strings.TrimSpace(names[i])
 		}
 	}
-	var loadVals []float64
-	for _, s := range strings.Split(loads, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil {
-			return fmt.Errorf("bad load %q: %w", s, err)
-		}
-		loadVals = append(loadVals, v)
+	loadVals, err := parseFloats(sp.loads)
+	if err != nil {
+		return err
 	}
 	if len(loadVals) == 0 {
 		return fmt.Errorf("empty load list")
 	}
-	if model != "wave" && model != "buffered" {
-		return fmt.Errorf("unknown model %q", model)
-	}
+	switch sp.model {
+	case "wave":
+		fmt.Fprintf(w, "sweep: wave model, n=%d (N=%d), %d networks x %d loads\n",
+			sp.n, 1<<uint(sp.n), len(names), len(loadVals))
+		fmt.Fprintf(w, "%-26s", "network")
+		for _, l := range loadVals {
+			fmt.Fprintf(w, " load=%-8.2f", l)
+		}
+		fmt.Fprintln(w)
+		for _, name := range names {
+			f, fname, err := buildFabric(false, name, sp.n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-26s", fname)
+			for _, l := range loadVals {
+				st, err := engine.RunWaves(f, sim.Bernoulli(l), sp.waves, cfg)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, " %-13.4f", st.Throughput.Mean)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
 
-	fmt.Fprintf(w, "sweep: %s model, n=%d (N=%d), %d networks x %d loads\n",
-		model, n, 1<<uint(n), len(names), len(loadVals))
-	fmt.Fprintf(w, "%-26s", "network")
-	for _, l := range loadVals {
-		fmt.Fprintf(w, " load=%-8.2f", l)
-	}
-	fmt.Fprintln(w)
-	for _, name := range names {
-		f, fname, err := buildFabric(false, name, n)
+	case "buffered":
+		queueVals, err := parseInts(sp.queues, sp.queue)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-26s", fname)
+		laneVals, err := parseInts(sp.laneGrid, sp.lanes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "sweep: buffered model, n=%d (N=%d), %d networks x %d loads x %d queues x %d lanes\n",
+			sp.n, 1<<uint(sp.n), len(names), len(loadVals), len(queueVals), len(laneVals))
+		fmt.Fprintf(w, "%-26s %-6s %-6s", "network", "queue", "lanes")
 		for _, l := range loadVals {
-			var th float64
-			switch model {
-			case "wave":
-				st, err := engine.RunWaves(f, sim.Bernoulli(l), waves, cfg)
-				if err != nil {
-					return err
-				}
-				th = st.Throughput.Mean
-			case "buffered":
-				st, err := engine.RunBuffered(f, sim.BufferedConfig{
-					Load: l, Queue: queue, Cycles: cycles, Warmup: warmup,
-				}, reps, cfg)
-				if err != nil {
-					return err
-				}
-				th = st.Throughput.Mean
-			}
-			fmt.Fprintf(w, " %-13.4f", th)
+			fmt.Fprintf(w, " load=%-8.2f", l)
 		}
 		fmt.Fprintln(w)
+		for _, name := range names {
+			f, fname, err := buildFabric(false, name, sp.n)
+			if err != nil {
+				return err
+			}
+			for _, q := range queueVals {
+				for _, lanes := range laneVals {
+					fmt.Fprintf(w, "%-26s %-6d %-6d", fname, q, lanes)
+					for _, l := range loadVals {
+						st, err := engine.RunBuffered(f, sim.BufferedConfig{
+							Load: l, Queue: q, Lanes: lanes,
+							Cycles: sp.cycles, Warmup: sp.warmup,
+						}, sp.reps, cfg)
+						if err != nil {
+							return err
+						}
+						fmt.Fprintf(w, " %-13.4f", st.Throughput.Mean)
+					}
+					fmt.Fprintln(w)
+				}
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown model %q", sp.model)
 	}
-	return nil
 }

@@ -118,6 +118,54 @@ func TestSweepMode(t *testing.T) {
 	}
 }
 
+func TestBufferedLanesAndPattern(t *testing.T) {
+	out, err := runSim(t, "-net", "omega", "-n", "3", "-model", "buffered",
+		"-cycles", "300", "-warmup", "30", "-load", "0.8", "-lanes", "2",
+		"-pattern", "transpose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"transpose traffic", "lanes 2", "p50", "p95", "p99",
+		"dropped", "max lane occupancy", "mean stage occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("buffered output missing %q:\n%s", want, out)
+		}
+	}
+	// Load-aware patterns run too (no double thinning blow-up).
+	if _, err := runSim(t, "-n", "3", "-model", "buffered", "-cycles", "100",
+		"-warmup", "10", "-pattern", "bursty"); err != nil {
+		t.Errorf("bursty buffered run: %v", err)
+	}
+	if _, err := runSim(t, "-n", "3", "-model", "buffered", "-pattern", "nope"); err == nil {
+		t.Error("unknown buffered pattern accepted")
+	}
+}
+
+func TestBufferedSweepGrid(t *testing.T) {
+	out, err := runSim(t, "-sweep", "-model", "buffered", "-n", "3", "-cycles", "100",
+		"-warmup", "10", "-nets", "omega", "-loads", "0.4,0.9",
+		"-queues", "1,4", "-lanegrid", "1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 networks x 2 loads x 2 queues x 2 lanes") {
+		t.Errorf("grid header wrong:\n%s", out)
+	}
+	// 1 header + 1 network x 2 queues x 2 lanes rows.
+	if rows := strings.Count(out, "omega"); rows != 4 {
+		t.Errorf("want 4 omega rows, got %d:\n%s", rows, out)
+	}
+	if _, err := runSim(t, "-sweep", "-model", "buffered", "-n", "3", "-queues", "abc"); err == nil {
+		t.Error("bad queue list accepted")
+	}
+	if _, err := runSim(t, "-sweep", "-n", "3", "-queues", "2"); err == nil {
+		t.Error("-queues accepted for the wave sweep")
+	}
+	if _, err := runSim(t, "-sweep", "-n", "3", "-lanegrid", "2"); err == nil {
+		t.Error("-lanegrid accepted for the wave sweep")
+	}
+}
+
 func TestWorkerCountInvariance(t *testing.T) {
 	one, err := runSim(t, "-n", "4", "-waves", "50", "-workers", "1", "-seed", "9")
 	if err != nil {

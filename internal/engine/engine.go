@@ -151,49 +151,93 @@ func RunWaves(f *sim.Fabric, pattern sim.Traffic, waves int, cfg Config) (WaveSt
 }
 
 // BufferedStats aggregates independent replications of the buffered
-// (FIFO store-and-forward) model.
+// (multi-lane FIFO store-and-forward) model.
 type BufferedStats struct {
 	Replications int
 	Injected     int
 	Rejected     int
 	Delivered    int
+	Dropped      int // undeliverable packets discarded (non-Banyan fabrics)
 	InFlight     int
+	MaxOccupancy int   // largest single-lane queue length over all replications
 	Throughput   Stats // per-replication delivered per terminal per cycle
 	Latency      Stats // per-replication mean delivery latency, cycles
+	LatencyP50   Stats // per-replication latency percentiles, cycles
+	LatencyP95   Stats
+	LatencyP99   Stats
+	// StageOccupancy[s] is the mean over replications of the mean
+	// packets queued at stage s per measured cycle.
+	StageOccupancy []float64
 }
 
 // RunBuffered runs `reps` independent replications of the buffered model
 // (distinct rng streams, same configuration), sharded across workers.
+// Each worker owns one reused BufferedRunner — the simulation's cycle
+// loop allocates nothing; per trial only the derived rng is allocated.
+// Trial t always uses the stream NewRand(cfg.Seed, t) and reduction is
+// by trial index, keeping the aggregates byte-identical for any worker
+// count.
 func RunBuffered(f *sim.Fabric, bc sim.BufferedConfig, reps int, cfg Config) (BufferedStats, error) {
 	if reps <= 0 {
 		return BufferedStats{}, fmt.Errorf("engine: replications must be positive")
 	}
+	// Validate once, up front, without sizing any buffers; per-worker
+	// construction below cannot fail for a valid config.
+	if err := bc.Validate(); err != nil {
+		return BufferedStats{}, err
+	}
 	results := make([]sim.BufferedResult, reps)
+	// One flat per-trial occupancy buffer: each trial copies the
+	// runner-owned StageOccupancy into its own slot so the worker's
+	// next replication cannot overwrite it, without per-trial allocs.
+	occ := make([]float64, reps*f.Spans)
 	err := shard(cfg, reps,
-		func() any { return nil },
-		func(t int, _ any) error {
-			res, err := f.RunBuffered(bc, NewRand(cfg.Seed, uint64(t)))
-			if err != nil {
-				return err
-			}
+		func() any {
+			r, _ := f.NewBufferedRunner(bc)
+			return r
+		},
+		func(t int, scratch any) error {
+			runner := scratch.(*sim.BufferedRunner)
+			res := runner.Run(NewRand(cfg.Seed, uint64(t)))
+			copy(occ[t*f.Spans:(t+1)*f.Spans], res.StageOccupancy)
+			res.StageOccupancy = nil
 			results[t] = res
 			return nil
 		})
 	if err != nil {
 		return BufferedStats{}, err
 	}
-	out := BufferedStats{Replications: reps}
+	out := BufferedStats{Replications: reps, StageOccupancy: make([]float64, f.Spans)}
 	throughputs := make([]float64, reps)
 	latencies := make([]float64, reps)
+	p50s := make([]float64, reps)
+	p95s := make([]float64, reps)
+	p99s := make([]float64, reps)
 	for t, r := range results {
 		out.Injected += r.Injected
 		out.Rejected += r.Rejected
 		out.Delivered += r.Delivered
+		out.Dropped += r.Dropped
 		out.InFlight += r.InFlight
+		if r.MaxOccupancy > out.MaxOccupancy {
+			out.MaxOccupancy = r.MaxOccupancy
+		}
 		throughputs[t] = r.Throughput
 		latencies[t] = r.MeanLatency
+		p50s[t] = float64(r.P50)
+		p95s[t] = float64(r.P95)
+		p99s[t] = float64(r.P99)
+		for s := 0; s < f.Spans; s++ {
+			out.StageOccupancy[s] += occ[t*f.Spans+s]
+		}
+	}
+	for s := range out.StageOccupancy {
+		out.StageOccupancy[s] /= float64(reps)
 	}
 	out.Throughput = summarize(throughputs)
 	out.Latency = summarize(latencies)
+	out.LatencyP50 = summarize(p50s)
+	out.LatencyP95 = summarize(p95s)
+	out.LatencyP99 = summarize(p99s)
 	return out, nil
 }

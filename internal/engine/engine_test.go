@@ -3,6 +3,7 @@ package engine
 import (
 	"math"
 	"math/rand/v2"
+	"reflect"
 	"testing"
 
 	"minequiv/internal/sim"
@@ -42,21 +43,27 @@ func TestWaveDeterminismAcrossWorkers(t *testing.T) {
 }
 
 // TestBufferedDeterminismAcrossWorkers: same contract for the buffered
-// replication model.
+// replication model on the reused per-worker BufferedRunner, including
+// the multi-lane configuration and the percentile/occupancy aggregates.
 func TestBufferedDeterminismAcrossWorkers(t *testing.T) {
 	f := fabricFor(t, topology.NameBaseline, 4)
-	cfg := sim.BufferedConfig{Load: 0.7, Queue: 3, Cycles: 300, Warmup: 30}
-	base, err := RunBuffered(f, cfg, 12, Config{Workers: 1, Seed: 11})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, workers := range []int{2, 5, 12} {
-		got, err := RunBuffered(f, cfg, 12, Config{Workers: workers, Seed: 11})
+	for _, cfg := range []sim.BufferedConfig{
+		{Load: 0.7, Queue: 3, Cycles: 300, Warmup: 30},
+		{Load: 1.0, Queue: 2, Lanes: 3, Cycles: 300, Warmup: 30, Arbiter: sim.ArbRoundRobin},
+		{Queue: 2, Lanes: 2, Cycles: 200, Warmup: 20, Pattern: sim.Thinned(0.5, sim.Transpose())},
+	} {
+		base, err := RunBuffered(f, cfg, 12, Config{Workers: 1, Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != base {
-			t.Fatalf("workers=%d diverged:\n%+v\n%+v", workers, got, base)
+		for _, workers := range []int{2, 5, 12} {
+			got, err := RunBuffered(f, cfg, 12, Config{Workers: workers, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("workers=%d diverged:\n%+v\n%+v", workers, got, base)
+			}
 		}
 	}
 }
@@ -116,6 +123,20 @@ func TestBufferedStatsAggregate(t *testing.T) {
 	}
 	if math.Abs(st.Throughput.Mean-0.4) > 0.1 {
 		t.Fatalf("low-load throughput %v far from offered 0.4", st.Throughput.Mean)
+	}
+	if st.LatencyP50.Mean < float64(f.Spans) || st.LatencyP50.Mean > st.LatencyP95.Mean ||
+		st.LatencyP95.Mean > st.LatencyP99.Mean {
+		t.Fatalf("percentile aggregates disordered: %+v %+v %+v",
+			st.LatencyP50, st.LatencyP95, st.LatencyP99)
+	}
+	if len(st.StageOccupancy) != f.Spans {
+		t.Fatalf("stage occupancy has %d entries, want %d", len(st.StageOccupancy), f.Spans)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("banyan fabric dropped %d packets", st.Dropped)
+	}
+	if st.MaxOccupancy < 1 || st.MaxOccupancy > 4 {
+		t.Fatalf("max occupancy %d outside [1, queue]", st.MaxOccupancy)
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	exps := All()
-	if len(exps) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -256,6 +256,16 @@ func TestT14(t *testing.T) {
 	for _, want := range []string{"buddy-twist", "P(2,4)", "refutation"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("T14 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT15(t *testing.T) {
+	out := runExp(t, "T15")
+	for _, want := range []string{"saturation curve", "multi-lane storage",
+		"p50/p95/p99", "scenario stress", "hotspot30%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T15 missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -5,156 +5,512 @@ import (
 	"math/rand/v2"
 )
 
-// BufferedConfig parametrizes the queued (store-and-forward) simulation.
-type BufferedConfig struct {
-	Load    float64 // Bernoulli injection probability per input per cycle
-	Queue   int     // FIFO capacity per switch input port
-	Cycles  int     // measured cycles
-	Warmup  int     // cycles discarded before measuring
-	HotSpot float64 // probability of addressing the hot output (0 = uniform)
-	HotDst  int     // the hot output terminal
+// ArbiterPolicy picks the winner when both switch inputs contend for the
+// same output port in one cycle.
+type ArbiterPolicy uint8
+
+const (
+	// ArbRandom flips a fair coin per conflict (the classic model).
+	ArbRandom ArbiterPolicy = iota
+	// ArbRoundRobin alternates priority per (cell, output): the loser of
+	// a contested cycle holds priority for the next conflict.
+	ArbRoundRobin
+)
+
+func (a ArbiterPolicy) String() string {
+	switch a {
+	case ArbRandom:
+		return "random"
+	case ArbRoundRobin:
+		return "roundrobin"
+	}
+	return fmt.Sprintf("ArbiterPolicy(%d)", uint8(a))
 }
 
-// BufferedResult aggregates the run.
+// LanePolicy picks the lane a packet joins when it is enqueued at an
+// input port with multiple lanes.
+type LanePolicy uint8
+
+const (
+	// LaneShortest joins the least-occupied lane with room (lowest index
+	// wins ties) — the load-balancing default.
+	LaneShortest LanePolicy = iota
+	// LaneByDst joins lane dst mod Lanes, keeping per-destination FIFO
+	// order across the whole path.
+	LaneByDst
+	// LaneRandom joins a uniformly random lane among those with room.
+	LaneRandom
+)
+
+func (l LanePolicy) String() string {
+	switch l {
+	case LaneShortest:
+		return "shortest"
+	case LaneByDst:
+		return "bydst"
+	case LaneRandom:
+		return "random"
+	}
+	return fmt.Sprintf("LanePolicy(%d)", uint8(l))
+}
+
+// BufferedConfig parametrizes the queued (store-and-forward) simulation.
+type BufferedConfig struct {
+	Load   float64 // Bernoulli injection probability per input per cycle (when Pattern is nil)
+	Queue  int     // FIFO capacity per lane
+	Lanes  int     // FIFO lanes per switch input port; 0 means 1
+	Cycles int     // measured cycles
+	Warmup int     // cycles discarded before measuring
+
+	// Pattern generates one cycle of injections: dsts[i] >= 0 offers a
+	// packet at input i. Any registry scenario works (compose with
+	// Thinned to control offered load). When nil, the legacy
+	// Load/HotSpot/HotDst fields define the pattern.
+	Pattern Traffic
+
+	HotSpot float64 // probability of addressing the hot output (0 = uniform; Pattern nil only)
+	HotDst  int     // the hot output terminal (Pattern nil only)
+
+	Arbiter    ArbiterPolicy // output-port arbitration between the two inputs
+	LaneSelect LanePolicy    // lane choice on enqueue
+}
+
+// lanes returns the effective lane count.
+func (c BufferedConfig) lanes() int {
+	if c.Lanes < 1 {
+		return 1
+	}
+	return c.Lanes
+}
+
+// BufferedResult aggregates one replication.
 type BufferedResult struct {
 	Injected     int
-	Rejected     int // injection attempts refused by a full entry queue
+	Rejected     int // injection attempts refused by a full entry port
 	Delivered    int
+	Dropped      int // undeliverable head packets discarded (non-Banyan fabrics)
 	InFlight     int // packets still queued at the end
 	Cycles       int
 	MeanLatency  float64 // cycles from injection to delivery
+	P50          int     // latency percentiles over measured deliveries, cycles
+	P95          int
+	P99          int
 	Throughput   float64 // delivered per terminal per measured cycle
-	MaxOccupancy int     // largest queue length observed
+	MaxOccupancy int     // largest single-lane queue length observed
+	// StageOccupancy[s] is the mean number of packets queued at stage s
+	// per measured cycle. The slice is owned by the runner and
+	// overwritten by its next Run; copy it if it must outlive the call.
+	StageOccupancy []float64
 }
 
-// RunBuffered simulates the fabric with one FIFO per switch input port.
-// Each cycle every switch forwards at most one packet per output port
-// (fair random arbitration between its two inputs); a packet advances
-// only if the downstream queue has room (backpressure), and delivered
-// packets leave at the last stage. Stages are serviced downstream-first
-// so a packet can cascade at most one hop per cycle but freed slots are
-// usable within the cycle.
-func (f *Fabric) RunBuffered(cfg BufferedConfig, rng *rand.Rand) (BufferedResult, error) {
-	if cfg.Load < 0 || cfg.Load > 1 {
-		return BufferedResult{}, fmt.Errorf("sim: load %v out of [0,1]", cfg.Load)
+// BufferedRunner owns every buffer of the store-and-forward model —
+// multi-lane ring FIFOs, arbitration state, the latency histogram, the
+// occupancy accumulators and the injection buffer — so that repeated
+// replications through one fabric are allocation-free in steady state.
+// A runner is NOT safe for concurrent use; create one per goroutine
+// (the parallel engine gives each worker its own).
+//
+// Model, serviced downstream-first so a packet advances at most one hop
+// per cycle but slots freed downstream are usable within the cycle:
+// each switch input port holds Lanes independent FIFOs of capacity
+// Queue. Per cycle each input port may send one packet and each output
+// port may accept one. An input offers, per output port, the head of
+// the first lane (in round-robin order) requesting that output — so a
+// head blocked on one output never blinds lanes headed for the other
+// (the head-of-line bypass that multi-lane storage exists for).
+// Contended outputs are arbitrated by the ArbiterPolicy; a winner
+// advances only if a downstream lane has room (backpressure), and
+// undeliverable heads are dropped and counted instead of stalling the
+// lane forever.
+type BufferedRunner struct {
+	f       *Fabric
+	cfg     BufferedConfig
+	pattern Traffic
+	lanes   int
+	cap     int
+
+	// Ring-buffer FIFOs, flat over (stage, port, lane):
+	// fifo i occupies buf[i*cap : (i+1)*cap] with head[i]/count[i].
+	buf   []Packet
+	head  []int32
+	count []int32
+
+	rrLane     []int32 // per (stage, input port): next lane to serve
+	rrIn       []uint8 // per (stage, cell, output): priority input for ArbRoundRobin
+	stageCount []int32 // packets currently queued per stage
+	occSum     []int64 // per stage: sum of stageCount over measured cycles
+	stageOcc   []float64
+	hist       []int32 // latency histogram; index = latency in cycles
+	dsts       []int   // injection buffer for Pattern
+}
+
+// Validate checks the configuration without sizing any buffers.
+func (c BufferedConfig) Validate() error {
+	if c.Load < 0 || c.Load > 1 {
+		return fmt.Errorf("sim: load %v out of [0,1]", c.Load)
 	}
-	if cfg.Queue < 1 {
-		return BufferedResult{}, fmt.Errorf("sim: queue capacity must be >= 1")
+	if c.Queue < 1 {
+		return fmt.Errorf("sim: queue capacity must be >= 1")
 	}
-	if cfg.Cycles < 1 {
-		return BufferedResult{}, fmt.Errorf("sim: cycles must be >= 1")
+	if c.Lanes < 0 {
+		return fmt.Errorf("sim: lane count %d negative", c.Lanes)
 	}
-	type fifo struct{ pkts []Packet }
-	// queues[s][cell*2+port]
-	queues := make([][]fifo, f.Spans)
-	for s := range queues {
-		queues[s] = make([]fifo, f.H*2)
+	if c.Cycles < 1 {
+		return fmt.Errorf("sim: cycles must be >= 1")
 	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("sim: warmup %d negative", c.Warmup)
+	}
+	switch c.Arbiter {
+	case ArbRandom, ArbRoundRobin:
+	default:
+		return fmt.Errorf("sim: unknown arbiter policy %d", c.Arbiter)
+	}
+	switch c.LaneSelect {
+	case LaneShortest, LaneByDst, LaneRandom:
+	default:
+		return fmt.Errorf("sim: unknown lane policy %d", c.LaneSelect)
+	}
+	return nil
+}
+
+// NewBufferedRunner validates the configuration and sizes every buffer.
+// The returned runner reuses all of them across calls to Run.
+func (f *Fabric) NewBufferedRunner(cfg BufferedConfig) (*BufferedRunner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pattern := cfg.Pattern
+	if pattern == nil {
+		if cfg.HotSpot > 0 {
+			pattern = Thinned(cfg.Load, HotSpot(cfg.HotDst, cfg.HotSpot))
+		} else {
+			pattern = Bernoulli(cfg.Load)
+		}
+	}
+	lanes := cfg.lanes()
+	ports := f.Spans * f.H * 2
+	fifos := ports * lanes
+	total := cfg.Warmup + cfg.Cycles
+	return &BufferedRunner{
+		f:          f,
+		cfg:        cfg,
+		pattern:    pattern,
+		lanes:      lanes,
+		cap:        cfg.Queue,
+		buf:        make([]Packet, fifos*cfg.Queue),
+		head:       make([]int32, fifos),
+		count:      make([]int32, fifos),
+		rrLane:     make([]int32, ports),
+		rrIn:       make([]uint8, ports),
+		stageCount: make([]int32, f.Spans),
+		occSum:     make([]int64, f.Spans),
+		stageOcc:   make([]float64, f.Spans),
+		hist:       make([]int32, total+2),
+		dsts:       make([]int, f.N),
+	}, nil
+}
+
+// Fabric returns the fabric this runner simulates.
+func (r *BufferedRunner) Fabric() *Fabric { return r.f }
+
+// Config returns the configuration the runner was sized for.
+func (r *BufferedRunner) Config() BufferedConfig { return r.cfg }
+
+// fifo index of (stage, port, lane); the port index of a stage equals
+// the link value cell*2+in.
+func (r *BufferedRunner) fifo(s, port, lane int) int {
+	return (s*r.f.H*2+port)*r.lanes + lane
+}
+
+func (r *BufferedRunner) peek(fi int) Packet {
+	return r.buf[fi*r.cap+int(r.head[fi])]
+}
+
+func (r *BufferedRunner) pop(fi, s int) Packet {
+	p := r.buf[fi*r.cap+int(r.head[fi])]
+	r.head[fi]++
+	if int(r.head[fi]) == r.cap {
+		r.head[fi] = 0
+	}
+	r.count[fi]--
+	r.stageCount[s]--
+	return p
+}
+
+func (r *BufferedRunner) push(fi, s int, p Packet) {
+	tail := int(r.head[fi]) + int(r.count[fi])
+	if tail >= r.cap {
+		tail -= r.cap
+	}
+	r.buf[fi*r.cap+tail] = p
+	r.count[fi]++
+	r.stageCount[s]++
+}
+
+// pickLane selects the enqueue lane at (stage, port) for a packet to
+// dst, honoring the configured policy; -1 means every admissible lane
+// is full (backpressure).
+func (r *BufferedRunner) pickLane(s, port, dst int, rng *rand.Rand) int {
+	base := r.fifo(s, port, 0)
+	if r.lanes == 1 {
+		if int(r.count[base]) >= r.cap {
+			return -1
+		}
+		return 0
+	}
+	switch r.cfg.LaneSelect {
+	case LaneByDst:
+		l := dst % r.lanes
+		if int(r.count[base+l]) >= r.cap {
+			return -1
+		}
+		return l
+	case LaneRandom:
+		free := 0
+		for l := 0; l < r.lanes; l++ {
+			if int(r.count[base+l]) < r.cap {
+				free++
+			}
+		}
+		if free == 0 {
+			return -1
+		}
+		k := rng.IntN(free)
+		for l := 0; l < r.lanes; l++ {
+			if int(r.count[base+l]) < r.cap {
+				if k == 0 {
+					return l
+				}
+				k--
+			}
+		}
+		return -1 // unreachable
+	default: // LaneShortest
+		best, bestCount := -1, int32(0)
+		for l := 0; l < r.lanes; l++ {
+			c := r.count[base+l]
+			if int(c) < r.cap && (best < 0 || c < bestCount) {
+				best, bestCount = l, c
+			}
+		}
+		return best
+	}
+}
+
+// Run executes one replication and resets all state first, so every
+// call is an independent sample path of the given rng. The returned
+// result's StageOccupancy aliases runner-owned storage.
+func (r *BufferedRunner) Run(rng *rand.Rand) BufferedResult {
+	f, cfg := r.f, r.cfg
+	for i := range r.head {
+		r.head[i], r.count[i] = 0, 0
+	}
+	for i := range r.rrLane {
+		r.rrLane[i], r.rrIn[i] = 0, 0
+	}
+	for i := range r.occSum {
+		r.occSum[i] = 0
+		r.stageCount[i] = 0
+	}
+	for i := range r.hist {
+		r.hist[i] = 0
+	}
+
 	res := BufferedResult{Cycles: cfg.Cycles}
 	var latSum float64
 	total := cfg.Warmup + cfg.Cycles
-	measuring := func(cycle int) bool { return cycle >= cfg.Warmup }
-
 	for cycle := 0; cycle < total; cycle++ {
+		measuring := cycle >= cfg.Warmup
 		// Service stages from the last to the first.
 		for s := f.Spans - 1; s >= 0; s-- {
 			for cell := 0; cell < f.H; cell++ {
-				q0 := &queues[s][cell*2]
-				q1 := &queues[s][cell*2+1]
-				// Head requests.
-				req := [2]int{-1, -1} // desired output port per input, -1 idle
-				if len(q0.pkts) > 0 {
-					p := f.port[s][cell*f.N+q0.pkts[0].Dst]
-					if p == 0xFF {
-						q0.pkts = q0.pkts[1:] // undeliverable: drop silently
-					} else {
-						req[0] = int(p)
-					}
-				}
-				if len(q1.pkts) > 0 {
-					p := f.port[s][cell*f.N+q1.pkts[0].Dst]
-					if p == 0xFF {
-						q1.pkts = q1.pkts[1:]
-					} else {
-						req[1] = int(p)
-					}
-				}
-				// Arbitration order: random when both contend for the
-				// same port, otherwise both can go.
-				first, second := 0, 1
-				if req[0] >= 0 && req[0] == req[1] && rng.IntN(2) == 1 {
-					first, second = 1, 0
-				}
-				granted := [2]bool{}
-				for _, in := range [2]int{first, second} {
-					if req[in] < 0 {
-						continue
-					}
-					if in == second && req[first] == req[in] && granted[first] {
-						continue // lost arbitration this cycle
-					}
-					q := &queues[s][cell*2+in]
-					pkt := q.pkts[0]
-					out := uint64(cell)<<1 | uint64(req[in])
-					if s == f.Spans-1 {
-						// Exits the network at terminal `out`.
-						q.pkts = q.pkts[1:]
-						granted[in] = true
-						if measuring(cycle) {
-							res.Delivered++
-							latSum += float64(cycle - pkt.Born + 1)
-						}
-						continue
-					}
-					in2 := f.perms[s].Apply(out)
-					nq := &queues[s+1][int(in2>>1)*2+int(in2&1)]
-					if len(nq.pkts) >= cfg.Queue {
-						continue // backpressure stall
-					}
-					q.pkts = q.pkts[1:]
-					nq.pkts = append(nq.pkts, pkt)
-					granted[in] = true
-					if len(nq.pkts) > res.MaxOccupancy {
-						res.MaxOccupancy = len(nq.pkts)
-					}
-				}
+				r.serviceCell(s, cell, cycle, measuring, rng, &res, &latSum)
 			}
 		}
 		// Injection.
+		r.pattern(r.dsts, rng)
 		for t := 0; t < f.N; t++ {
-			if rng.Float64() >= cfg.Load {
+			dst := r.dsts[t]
+			if dst < 0 {
 				continue
 			}
-			var dst int
-			if cfg.HotSpot > 0 && rng.Float64() < cfg.HotSpot {
-				dst = cfg.HotDst % f.N
-			} else {
-				dst = rng.IntN(f.N)
-			}
-			q := &queues[0][(t>>1)*2+(t&1)]
-			if len(q.pkts) >= cfg.Queue {
-				if measuring(cycle) {
+			l := r.pickLane(0, t, dst, rng)
+			if l < 0 {
+				if measuring {
 					res.Rejected++
 				}
 				continue
 			}
-			q.pkts = append(q.pkts, Packet{Src: t, Dst: dst, Born: cycle})
-			if measuring(cycle) {
+			fi := r.fifo(0, t, l)
+			r.push(fi, 0, Packet{Src: t, Dst: dst, Born: cycle})
+			if measuring {
 				res.Injected++
 			}
-			if len(q.pkts) > res.MaxOccupancy {
-				res.MaxOccupancy = len(q.pkts)
+			if int(r.count[fi]) > res.MaxOccupancy {
+				res.MaxOccupancy = int(r.count[fi])
+			}
+		}
+		if measuring {
+			for s := range r.occSum {
+				r.occSum[s] += int64(r.stageCount[s])
 			}
 		}
 	}
-	for s := range queues {
-		for i := range queues[s] {
-			res.InFlight += len(queues[s][i].pkts)
-		}
+
+	for _, c := range r.count {
+		res.InFlight += int(c)
 	}
+	for s := range r.stageOcc {
+		r.stageOcc[s] = float64(r.occSum[s]) / float64(cfg.Cycles)
+	}
+	res.StageOccupancy = r.stageOcc
 	if res.Delivered > 0 {
 		res.MeanLatency = latSum / float64(res.Delivered)
+		res.P50 = r.percentile(res.Delivered, 0.50)
+		res.P95 = r.percentile(res.Delivered, 0.95)
+		res.P99 = r.percentile(res.Delivered, 0.99)
 	}
 	res.Throughput = float64(res.Delivered) / float64(cfg.Cycles) / float64(f.N)
-	return res, nil
+	return res
+}
+
+// serviceCell moves up to one packet per output port of one switch.
+func (r *BufferedRunner) serviceCell(s, cell, cycle int, measuring bool, rng *rand.Rand, res *BufferedResult, latSum *float64) {
+	f := r.f
+	pbase := s * f.H * 2 // this stage's base into the per-port rr state
+	// cand[in][out] is the round-robin-first lane at input `in` whose
+	// head requests output `out`, or -1. Undeliverable heads found
+	// while scanning are dropped and counted.
+	var cand [2][2]int
+	for in := 0; in < 2; in++ {
+		cand[in][0], cand[in][1] = -1, -1
+		port := cell*2 + in
+		start := int(r.rrLane[pbase+port])
+		for k := 0; k < r.lanes; k++ {
+			l := start + k
+			if l >= r.lanes {
+				l -= r.lanes
+			}
+			fi := r.fifo(s, port, l)
+			var pt uint8
+			for r.count[fi] > 0 {
+				pt = f.port[s][cell*f.N+r.peek(fi).Dst]
+				if pt != 0xFF {
+					break
+				}
+				r.pop(fi, s)
+				if measuring {
+					res.Dropped++
+				}
+			}
+			if r.count[fi] == 0 {
+				continue
+			}
+			if cand[in][pt] < 0 {
+				cand[in][pt] = l
+			}
+			if cand[in][0] >= 0 && cand[in][1] >= 0 {
+				break
+			}
+		}
+	}
+	var sent [2]bool
+	for out := 0; out < 2; out++ {
+		a0 := cand[0][out] >= 0 && !sent[0]
+		a1 := cand[1][out] >= 0 && !sent[1]
+		var order [2]int
+		var n int
+		contested := a0 && a1
+		switch {
+		case contested:
+			first := 0
+			if r.cfg.Arbiter == ArbRoundRobin {
+				first = int(r.rrIn[pbase+cell*2+out])
+			} else {
+				first = rng.IntN(2)
+			}
+			order = [2]int{first, 1 - first}
+			n = 2
+		case a0:
+			order[0], n = 0, 1
+		case a1:
+			order[0], n = 1, 1
+		default:
+			continue
+		}
+		// Both inputs feed the same downstream port. Under LaneShortest
+		// and LaneRandom a winner stalled by backpressure means every
+		// lane there is full, so the loser is stalled too; under
+		// LaneByDst the loser's destination may map to a lane with
+		// room, so it gets the chance the winner could not use.
+		for i := 0; i < n; i++ {
+			in := order[i]
+			lane := cand[in][out]
+			port := cell*2 + in
+			fi := r.fifo(s, port, lane)
+			if s == f.Spans-1 {
+				p := r.pop(fi, s)
+				if measuring {
+					res.Delivered++
+					lat := cycle - p.Born + 1
+					*latSum += float64(lat)
+					r.hist[lat]++
+				}
+			} else {
+				dport := int(f.perms[s].Apply(uint64(cell)<<1 | uint64(out)))
+				dl := r.pickLane(s+1, dport, r.peek(fi).Dst, rng)
+				if dl < 0 {
+					continue // backpressure stall; maybe the other input can go
+				}
+				p := r.pop(fi, s)
+				dfi := r.fifo(s+1, dport, dl)
+				r.push(dfi, s+1, p)
+				if int(r.count[dfi]) > res.MaxOccupancy {
+					res.MaxOccupancy = int(r.count[dfi])
+				}
+			}
+			sent[in] = true
+			if contested {
+				// The grant holder yields priority for the next conflict.
+				r.rrIn[pbase+cell*2+out] = uint8(1 - in)
+			}
+			next := lane + 1
+			if next == r.lanes {
+				next = 0
+			}
+			r.rrLane[pbase+port] = int32(next)
+			break
+		}
+	}
+}
+
+// percentile returns the smallest latency whose cumulative measured
+// delivery count reaches q of the total.
+func (r *BufferedRunner) percentile(delivered int, q float64) int {
+	need := int64(q * float64(delivered))
+	if float64(need) < q*float64(delivered) {
+		need++
+	}
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for lat, c := range r.hist {
+		cum += int64(c)
+		if cum >= need {
+			return lat
+		}
+	}
+	return len(r.hist) - 1
+}
+
+// RunBuffered is the one-shot convenience form; it allocates a fresh
+// runner per call. Hot loops should hold a BufferedRunner instead.
+func (f *Fabric) RunBuffered(cfg BufferedConfig, rng *rand.Rand) (BufferedResult, error) {
+	r, err := f.NewBufferedRunner(cfg)
+	if err != nil {
+		return BufferedResult{}, err
+	}
+	return r.Run(rng), nil
 }

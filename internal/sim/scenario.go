@@ -32,6 +32,11 @@ type Scenario struct {
 	Name        string
 	Description string
 	New         func(p ScenarioParams) Traffic
+	// LoadAware marks scenarios that consume ScenarioParams.Load
+	// themselves; the rest inject at every input, and consumers that
+	// need a lower offered load (the buffered model, minsim -load)
+	// compose them with Thinned.
+	LoadAware bool
 }
 
 var scenarios = []Scenario{
@@ -44,6 +49,7 @@ var scenarios = []Scenario{
 		Name:        "bernoulli",
 		Description: "each input offers with probability Load, uniform destination",
 		New:         func(p ScenarioParams) Traffic { return Bernoulli(p.Load) },
+		LoadAware:   true,
 	},
 	{
 		Name:        "permutation",
@@ -79,6 +85,7 @@ var scenarios = []Scenario{
 		Name:        "bursty",
 		Description: "on/off waves: Load with probability BurstProb, else IdleLoad",
 		New:         func(p ScenarioParams) Traffic { return Bursty(p.BurstProb, p.Load, p.IdleLoad) },
+		LoadAware:   true,
 	},
 }
 

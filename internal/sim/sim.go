@@ -7,12 +7,14 @@
 // Isomorphic networks produce statistically identical results under
 // uniform traffic — the downstream consequence of the paper's theorem.
 //
-// The hot path is the wave model. A WaveRunner owns all per-wave scratch
-// state (packet list, claim table, arbitration shuffle, per-stage drop
-// counters) so that steady-state simulation allocates nothing; the
-// parallel trial engine in internal/engine gives each worker its own
-// runner. Fabric.RunWave and Fabric.Throughput remain as convenience
-// wrappers for one-off use.
+// Both models are allocation-free in steady state. A WaveRunner owns
+// all per-wave scratch state (packet list, claim table, arbitration
+// shuffle, per-stage drop counters); a BufferedRunner owns the
+// multi-lane ring FIFOs, arbitration pointers, latency histogram and
+// occupancy accumulators of the queued model. The parallel trial
+// engine in internal/engine gives each worker its own runner.
+// Fabric.RunWave, Fabric.Throughput and Fabric.RunBuffered remain as
+// convenience wrappers for one-off use.
 package sim
 
 import (

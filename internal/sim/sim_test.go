@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"math/rand/v2"
+	"reflect"
 	"testing"
 
 	"minequiv/internal/perm"
@@ -445,15 +446,16 @@ func TestWaveErrors(t *testing.T) {
 
 func TestDeterministicGivenSeed(t *testing.T) {
 	f := fabricFor(t, topology.NameFlip, 4)
-	r1, err := f.RunBuffered(BufferedConfig{Load: 0.7, Queue: 3, Cycles: 500, Warmup: 50}, rand.New(rand.NewPCG(11, 0)))
+	cfg := BufferedConfig{Load: 0.7, Queue: 3, Lanes: 2, Cycles: 500, Warmup: 50}
+	r1, err := f.RunBuffered(cfg, rand.New(rand.NewPCG(11, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := f.RunBuffered(BufferedConfig{Load: 0.7, Queue: 3, Cycles: 500, Warmup: 50}, rand.New(rand.NewPCG(11, 0)))
+	r2, err := f.RunBuffered(cfg, rand.New(rand.NewPCG(11, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("same seed, different results:\n%+v\n%+v", r1, r2)
 	}
 }

@@ -139,6 +139,25 @@ func NearestNeighbor() Traffic {
 	}
 }
 
+// Thinned gates an inner pattern by an offered-load factor: each input
+// that the inner pattern makes busy stays busy with probability load,
+// else idles. Composing Thinned(load, pattern) is how full-injection
+// patterns (uniform, tornado, transpose, ...) drive the buffered model
+// at a chosen load. Thinned(1, p) is p itself.
+func Thinned(load float64, inner Traffic) Traffic {
+	if load >= 1 {
+		return inner
+	}
+	return func(dsts []int, rng *rand.Rand) {
+		inner(dsts, rng)
+		for i := range dsts {
+			if dsts[i] >= 0 && rng.Float64() >= load {
+				dsts[i] = -1
+			}
+		}
+	}
+}
+
 // Bursty models on/off sources at wave granularity: with probability
 // burstProb a wave is a burst (every input offers with probability
 // burstLoad), otherwise the fabric idles at idleLoad. Destinations are
