@@ -4,6 +4,7 @@
 package minequiv
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -144,7 +145,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				st, err := engine.RunWaves(f, pattern, waves, engine.Config{Workers: workers, Seed: 1})
+				st, err := engine.RunWaves(context.Background(), f, pattern, waves, engine.Config{Workers: workers, Seed: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -186,7 +187,7 @@ func BenchmarkEngineBuffered(b *testing.B) {
 	cfg := sim.BufferedConfig{Load: 0.6, Queue: 4, Lanes: 2, Cycles: 200, Warmup: 20}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.RunBuffered(f, cfg, 8, engine.Config{Seed: 3}); err != nil {
+		if _, err := engine.RunBuffered(context.Background(), f, cfg, 8, engine.Config{Seed: 3}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
-// Command minctl inspects multistage interconnection networks: build the
-// classical networks, check the paper's characterization, construct
-// isomorphisms, draw figures, and route packets.
+// Command minctl inspects multistage interconnection networks through
+// the public min API: build the classical networks, check the paper's
+// characterization, construct isomorphisms, draw figures, route
+// packets, and run quick simulations.
 //
 // Usage:
 //
@@ -12,139 +13,187 @@
 //	minctl route    -net omega -n 4 -src 3 -dst 12
 //	minctl windows  -net baseline -n 5
 //	minctl counter  -n 5
+//	minctl sim      -net omega -n 6 -model wave -waves 500 -pattern uniform
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"minequiv/internal/ascii"
-	"minequiv/internal/equiv"
-	"minequiv/internal/randnet"
-	"minequiv/internal/route"
-	"minequiv/internal/topology"
+	"minequiv/min"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "minctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (list, draw, check, equiv, iso, route, windows, counter)")
+		return fmt.Errorf("missing subcommand (list, draw, check, equiv, iso, route, windows, counter, sim)")
 	}
 	sub := args[0]
 	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
-	netName := fs.String("net", topology.NameBaseline, "network name")
-	netName2 := fs.String("net2", topology.NameOmega, "second network name (equiv)")
+	netName := fs.String("net", min.Baseline, "network name")
+	netName2 := fs.String("net2", min.Omega, "second network name (equiv)")
 	n := fs.Int("n", 4, "number of stages")
 	tuples := fs.Bool("tuples", false, "print labels as binary tuples")
-	src := fs.Uint64("src", 0, "source terminal (route)")
-	dst := fs.Uint64("dst", 0, "destination terminal (route)")
+	src := fs.Int("src", 0, "source terminal (route)")
+	dst := fs.Int("dst", 0, "destination terminal (route)")
+	model := fs.String("model", "wave", "wave or buffered (sim)")
+	pattern := fs.String("pattern", "uniform", "traffic scenario (sim)")
+	waves := fs.Int("waves", 500, "waves (sim, wave model)")
+	load := fs.Float64("load", 0.6, "offered load (sim, buffered model)")
+	queue := fs.Int("queue", 4, "queue capacity per lane (sim, buffered model)")
+	lanes := fs.Int("lanes", 1, "FIFO lanes per input port (sim, buffered model)")
+	cycles := fs.Int("cycles", 5000, "measured cycles (sim, buffered model)")
+	warmup := fs.Int("warmup", 500, "warmup cycles (sim, buffered model)")
+	seed := fs.Uint64("seed", 1, "root rng seed (sim)")
+	workers := fs.Int("workers", 0, "parallel workers, 0 = GOMAXPROCS (sim)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 
 	switch sub {
 	case "list":
-		for _, name := range topology.Names() {
-			fmt.Fprintln(w, name)
+		for _, info := range min.Catalog() {
+			fmt.Fprintf(w, "%-28s %s\n", info.Name, info.Description)
 		}
 		return nil
 
 	case "draw":
-		nw, err := topology.Build(*netName, *n)
+		nw, err := min.Build(*netName, *n)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(w, ascii.Network(nw.Graph, ascii.Options{
-			Title: fmt.Sprintf("%s, n=%d", nw.Name, *n), Tuples: *tuples, OneBased: true}))
+		fmt.Fprint(w, nw.Draw(min.DrawOptions{
+			Title: fmt.Sprintf("%s, n=%d", nw.Name(), *n), Tuples: *tuples, OneBased: true}))
 		return nil
 
 	case "check":
-		nw, err := topology.Build(*netName, *n)
+		nw, err := min.Build(*netName, *n)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(w, equiv.Check(nw.Graph).String())
+		fmt.Fprint(w, min.Check(nw).String())
 		return nil
 
 	case "windows":
-		nw, err := topology.Build(*netName, *n)
+		nw, err := min.Build(*netName, *n)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(w, ascii.WindowResults(nw.Graph.CheckAllWindows()))
+		printWindows(w, min.CheckAllWindows(nw))
 		return nil
 
 	case "equiv":
-		a, err := topology.Build(*netName, *n)
+		a, err := min.Build(*netName, *n)
 		if err != nil {
 			return err
 		}
-		b, err := topology.Build(*netName2, *n)
+		b, err := min.Build(*netName2, *n)
 		if err != nil {
 			return err
 		}
-		iso, err := equiv.IsoBetween(a.Graph, b.Graph)
+		iso, err := min.IsoBetween(a, b)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s and %s (n=%d) are topologically equivalent.\n", a.Name, b.Name, *n)
+		fmt.Fprintf(w, "%s and %s (n=%d) are topologically equivalent.\n", a.Name(), b.Name(), *n)
 		fmt.Fprintf(w, "stage-0 node mapping: %v\n", iso.Maps[0])
 		return nil
 
 	case "iso":
-		nw, err := topology.Build(*netName, *n)
+		nw, err := min.Build(*netName, *n)
 		if err != nil {
 			return err
 		}
-		iso, err := equiv.IsoToBaseline(nw.Graph)
+		iso, err := min.Iso(nw)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "isomorphism %s -> baseline (n=%d):\n", nw.Name, *n)
+		fmt.Fprintf(w, "isomorphism %s -> baseline (n=%d):\n", nw.Name(), *n)
 		for s, m := range iso.Maps {
-			fmt.Fprintf(w, "stage %d: %v\n", s+1, []uint64(m))
+			fmt.Fprintf(w, "stage %d: %v\n", s+1, m)
 		}
 		return nil
 
 	case "route":
-		nw, err := topology.Build(*netName, *n)
+		nw, err := min.Build(*netName, *n)
 		if err != nil {
 			return err
 		}
-		r, err := route.NewRouter(nw.IndexPerms)
+		p, err := min.Route(nw, *src, *dst)
 		if err != nil {
 			return err
 		}
-		p, err := r.Route(*src, *dst)
+		tags, err := min.TagPositions(nw)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s: route %d -> %d (tag bits %v)\n", nw.Name, *src, *dst, r.TagPositions())
-		for _, st := range p.Steps {
+		fmt.Fprintf(w, "%s: route %d -> %d (tag bits %v)\n", nw.Name(), *src, *dst, tags)
+		for _, h := range p.Hops {
 			fmt.Fprintf(w, "  stage %d: cell %d, in port %d, out port %d\n",
-				st.Stage+1, st.Cell, st.InPort, st.OutPort)
+				h.Stage+1, h.Cell, h.InPort, h.OutPort)
 		}
 		return nil
 
 	case "counter":
-		g, err := randnet.TailCycleBanyan(*n)
+		nw, err := min.TailCycle(*n)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "tail-cycle counterexample, n=%d:\n", *n)
-		fmt.Fprint(w, equiv.Check(g).String())
-		fmt.Fprint(w, ascii.WindowResults(g.CheckAllWindows()))
+		fmt.Fprint(w, min.Check(nw).String())
+		printWindows(w, min.CheckAllWindows(nw))
 		return nil
+
+	case "sim":
+		nw, err := min.Build(*netName, *n)
+		if err != nil {
+			return err
+		}
+		common := []min.Option{
+			min.WithScenario(*pattern), min.WithSeed(*seed), min.WithWorkers(*workers),
+		}
+		switch *model {
+		case "wave":
+			st, err := min.Simulate(ctx, nw, append(common, min.WithWaves(*waves))...)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s n=%d (N=%d), %s traffic, %d waves: throughput %.4f ± %.4f\n",
+				st.Network, st.Stages, st.Terminals, st.Scenario, st.Waves,
+				st.Throughput.Mean, st.Throughput.CI95)
+			return nil
+		case "buffered":
+			st, err := min.SimulateBuffered(ctx, nw, append(common,
+				min.WithLoad(*load), min.WithQueue(*queue), min.WithLanes(*lanes),
+				min.WithCycles(*cycles), min.WithWarmup(*warmup))...)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s n=%d (N=%d), buffered, %s traffic, load %.2f: throughput %.4f ± %.4f, mean latency %.2f cycles\n",
+				st.Network, st.Stages, st.Terminals, st.Scenario, *load,
+				st.Throughput.Mean, st.Throughput.CI95, st.Latency.Mean)
+			return nil
+		default:
+			return fmt.Errorf("unknown model %q", *model)
+		}
 
 	default:
 		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}
+
+// printWindows renders a P(i,j) window table, one window per line.
+func printWindows(w io.Writer, rs []min.WindowCheck) {
+	for _, r := range rs {
+		fmt.Fprintf(w, "  %s\n", r)
 	}
 }

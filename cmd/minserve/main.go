@@ -1,0 +1,92 @@
+// Command minserve serves the min public API over HTTP JSON: the
+// network catalog, the paper's characterization check, bit-directed
+// routing and the parallel traffic-simulation engine.
+//
+// Usage:
+//
+//	minserve -addr :8080
+//	curl localhost:8080/v1/networks
+//	curl -d '{"network":"omega","stages":4}' localhost:8080/v1/check
+//	curl -d '{"network":"omega","stages":6,"waves":500,"seed":7}' localhost:8080/v1/simulate
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get -grace to finish (cancelled simulations stop within one
+// trial).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"minequiv/minserve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "minserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("minserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size limit, bytes")
+	maxStages := fs.Int("max-stages", 10, "largest accepted network (terminals = 2^stages)")
+	maxTrials := fs.Int("max-trials", 100000, "largest accepted waves/replications count")
+	maxCycles := fs.Int("max-cycles", 200000, "largest accepted cycles+warmup per replication")
+	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler: minserve.NewHandler(minserve.Config{
+			MaxBodyBytes: *maxBody,
+			MaxStages:    *maxStages,
+			MaxTrials:    *maxTrials,
+			MaxCycles:    *maxCycles,
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		// No WriteTimeout: long simulations are legitimate; the request
+		// limits above bound them, and BaseContext cancellation stops
+		// abandoned runs.
+	}
+	fmt.Fprintf(w, "minserve listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(w, "minserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Requests still running after the grace period are cut off.
+		_ = srv.Close()
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(w, "minserve: bye")
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer boots run() on an ephemeral port and returns the base URL
+// plus a stop function that triggers graceful shutdown and waits for
+// run to return.
+func startServer(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		err := run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), pw)
+		pw.Close()
+		errc <- err
+	}()
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		cancel()
+		t.Fatalf("no listen line; run: %v", <-errc)
+	}
+	line := sc.Text()
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		cancel()
+		t.Fatalf("unexpected first line %q", line)
+	}
+	go func() { // drain the rest so run never blocks on the pipe
+		for sc.Scan() {
+		}
+	}()
+	return line[i:], func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(15 * time.Second):
+			return context.DeadlineExceeded
+		}
+	}
+}
+
+func TestServeAndGracefulShutdown(t *testing.T) {
+	base, stop := startServer(t)
+
+	resp, err := http.Get(base + "/v1/networks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "omega") {
+		t.Fatalf("GET /v1/networks: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"network":"omega","stages":4,"waves":50,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"throughput"`) {
+		t.Fatalf("POST /v1/simulate: %d %s", resp.StatusCode, body)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+}
+
+func TestFlagLimitsReachHandler(t *testing.T) {
+	base, stop := startServer(t, "-max-stages", "4")
+	defer stop()
+
+	resp, err := http.Post(base+"/v1/check", "application/json",
+		strings.NewReader(`{"network":"omega","stages":6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "[2,4]") {
+		t.Fatalf("max-stages flag ignored: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr", "999.999.999.999:1"}, io.Discard); err == nil {
+		t.Error("bad address accepted")
+	}
+	if err := run(context.Background(), []string{"-nope"}, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

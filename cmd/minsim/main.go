@@ -1,5 +1,6 @@
 // Command minsim runs packet-level simulations of a multistage
-// interconnection network on the parallel trial engine.
+// interconnection network through the public min API (which shards
+// trials across workers on the parallel engine).
 //
 // Usage:
 //
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,22 +28,19 @@ import (
 	"strconv"
 	"strings"
 
-	"minequiv/internal/engine"
-	"minequiv/internal/randnet"
-	"minequiv/internal/sim"
-	"minequiv/internal/topology"
+	"minequiv/min"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "minsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("minsim", flag.ContinueOnError)
-	netName := fs.String("net", topology.NameOmega, "network name")
+	netName := fs.String("net", min.Omega, "network name")
 	counter := fs.Bool("counter", false, "simulate the tail-cycle counterexample instead of -net")
 	n := fs.Int("n", 6, "number of stages")
 	model := fs.String("model", "wave", "wave or buffered")
@@ -69,17 +68,26 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *listPatterns {
-		for _, s := range sim.Scenarios() {
+		for _, s := range min.Scenarios() {
 			fmt.Fprintf(w, "%-12s %s\n", s.Name, s.Description)
 		}
 		return nil
 	}
 
-	cfg := engine.Config{Workers: *workers, Seed: *seed}
-	params := sim.ScenarioParams{
-		Load: *load, HotProb: *hotspot, HotDst: 0,
-		BurstProb: *burst, IdleLoad: *idleLoad,
+	common := []min.Option{
+		min.WithSeed(*seed), min.WithWorkers(*workers),
+		min.WithScenario(*pattern),
+		min.WithHotspot(0, *hotspot), min.WithBurst(*burst, *idleLoad),
 	}
+	// The wave model historically offers full load unless -load is given
+	// (load-aware patterns excepted); the buffered model always thins to
+	// -load. min.WithLoad implements exactly that when applied on demand.
+	loadSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "load" {
+			loadSet = true
+		}
+	})
 
 	if *sweep {
 		// The sweep grid fixes its own traffic (Bernoulli at each grid
@@ -99,53 +107,53 @@ func run(args []string, w io.Writer) error {
 		if *model != "buffered" && (*queues != "" || *laneGrid != "") {
 			return fmt.Errorf("-queues/-lanegrid apply to the buffered sweep only")
 		}
-		return runSweep(w, sweepSpec{
+		return runSweep(ctx, w, sweepSpec{
 			model: *model, n: *n, nets: *nets, loads: *loads,
 			queues: *queues, laneGrid: *laneGrid,
 			waves: *waves, reps: *reps, queue: *queue, lanes: *lanes,
 			cycles: *cycles, warmup: *warmup,
-		}, cfg)
+		}, *seed, *workers)
 	}
 
-	f, name, err := buildFabric(*counter, *netName, *n)
+	nw, err := buildNetwork(*counter, *netName, *n)
 	if err != nil {
 		return err
 	}
 
 	switch *model {
 	case "wave":
-		sc, ok := sim.LookupScenario(*pattern)
-		if !ok {
-			return fmt.Errorf("unknown pattern %q (try -patterns)", *pattern)
+		opts := append(common, min.WithWaves(*waves))
+		// Load-aware scenarios (bernoulli, bursty) have always consumed
+		// -load, default included; other patterns offer full load unless
+		// -load is given explicitly (which thins them).
+		if loadSet || scenarioIsLoadAware(*pattern) {
+			opts = append(opts, min.WithLoad(*load))
 		}
-		st, err := engine.RunWaves(f, sc.New(params), *waves, cfg)
+		st, err := min.Simulate(ctx, nw, opts...)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "%s n=%d (N=%d), %s traffic, %d waves: throughput %.4f ± %.4f\n",
-			name, *n, f.N, *pattern, *waves, st.Throughput.Mean, st.Throughput.CI95())
+			st.Network, st.Stages, st.Terminals, st.Scenario, st.Waves,
+			st.Throughput.Mean, st.Throughput.CI95)
 		fmt.Fprintf(w, "  offered %d, delivered %d, dropped %d, misrouted %d\n",
 			st.Offered, st.Delivered, st.Dropped, st.Misrouted)
 		return nil
 
 	case "buffered":
-		tr, err := bufferedTraffic(*pattern, *load, params)
-		if err != nil {
-			return err
-		}
-		st, err := engine.RunBuffered(f, sim.BufferedConfig{
-			Load: *load, Queue: *queue, Lanes: *lanes, Cycles: *cycles, Warmup: *warmup,
-			Pattern: tr,
-		}, *reps, cfg)
+		st, err := min.SimulateBuffered(ctx, nw, append(common,
+			min.WithLoad(*load), min.WithQueue(*queue), min.WithLanes(*lanes),
+			min.WithCycles(*cycles), min.WithWarmup(*warmup),
+			min.WithReplications(*reps))...)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "%s n=%d (N=%d), buffered, %s traffic, load %.2f, queue %d, lanes %d, %d cycles, %d reps:\n",
-			name, *n, f.N, *pattern, *load, *queue, *lanes, *cycles, *reps)
+			st.Network, st.Stages, st.Terminals, st.Scenario, *load, *queue, *lanes, *cycles, *reps)
 		fmt.Fprintf(w, "  throughput   %.4f ± %.4f per terminal per cycle\n",
-			st.Throughput.Mean, st.Throughput.CI95())
+			st.Throughput.Mean, st.Throughput.CI95)
 		fmt.Fprintf(w, "  mean latency %.2f ± %.2f cycles (p50 %.0f, p95 %.0f, p99 %.0f)\n",
-			st.Latency.Mean, st.Latency.CI95(),
+			st.Latency.Mean, st.Latency.CI95,
 			st.LatencyP50.Mean, st.LatencyP95.Mean, st.LatencyP99.Mean)
 		fmt.Fprintf(w, "  injected %d, delivered %d, rejected %d, dropped %d, in flight %d\n",
 			st.Injected, st.Delivered, st.Rejected, st.Dropped, st.InFlight)
@@ -161,42 +169,23 @@ func run(args []string, w io.Writer) error {
 	}
 }
 
-func buildFabric(counter bool, netName string, n int) (*sim.Fabric, string, error) {
+func buildNetwork(counter bool, netName string, n int) (*min.Network, error) {
 	if counter {
-		perms, err := randnet.TailCycleLinkPerms(n)
-		if err != nil {
-			return nil, "", err
-		}
-		f, err := sim.NewFabric(perms)
-		if err != nil {
-			return nil, "", err
-		}
-		return f, "tail-cycle", nil
+		return min.TailCycle(n)
 	}
-	nw, err := topology.Build(netName, n)
-	if err != nil {
-		return nil, "", err
-	}
-	f, err := sim.NewFabric(nw.LinkPerms)
-	if err != nil {
-		return nil, "", err
-	}
-	return f, nw.Name, nil
+	return min.Build(netName, n)
 }
 
-// bufferedTraffic resolves the injection pattern for the buffered
-// model: load-aware scenarios (bernoulli, bursty) consume the load via
-// their params; every other scenario is thinned to the offered load.
-func bufferedTraffic(pattern string, load float64, params sim.ScenarioParams) (sim.Traffic, error) {
-	sc, ok := sim.LookupScenario(pattern)
-	if !ok {
-		return nil, fmt.Errorf("unknown pattern %q (try -patterns)", pattern)
+// scenarioIsLoadAware reports whether the named scenario consumes the
+// offered load itself (unknown names resolve to false; the simulate
+// call reports them properly).
+func scenarioIsLoadAware(name string) bool {
+	for _, s := range min.Scenarios() {
+		if s.Name == name {
+			return s.LoadAware
+		}
 	}
-	tr := sc.New(params)
-	if !sc.LoadAware {
-		tr = sim.Thinned(load, tr)
-	}
-	return tr, nil
+	return false
 }
 
 // sweepSpec carries the grid axes of one -sweep invocation.
@@ -241,8 +230,8 @@ func parseInts(list string, fallback int) ([]int, error) {
 // runSweep evaluates a grid in one invocation: Bernoulli wave traffic
 // per load for the wave model (network x load), or buffered runs over
 // the full load x queue x lanes grid per network.
-func runSweep(w io.Writer, sp sweepSpec, cfg engine.Config) error {
-	names := topology.Names()
+func runSweep(ctx context.Context, w io.Writer, sp sweepSpec, seed uint64, workers int) error {
+	names := min.CatalogNames()
 	if sp.nets != "" {
 		names = strings.Split(sp.nets, ",")
 		for i := range names {
@@ -256,6 +245,7 @@ func runSweep(w io.Writer, sp sweepSpec, cfg engine.Config) error {
 	if len(loadVals) == 0 {
 		return fmt.Errorf("empty load list")
 	}
+	common := []min.Option{min.WithSeed(seed), min.WithWorkers(workers)}
 	switch sp.model {
 	case "wave":
 		fmt.Fprintf(w, "sweep: wave model, n=%d (N=%d), %d networks x %d loads\n",
@@ -266,13 +256,14 @@ func runSweep(w io.Writer, sp sweepSpec, cfg engine.Config) error {
 		}
 		fmt.Fprintln(w)
 		for _, name := range names {
-			f, fname, err := buildFabric(false, name, sp.n)
+			nw, err := buildNetwork(false, name, sp.n)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%-26s", fname)
+			fmt.Fprintf(w, "%-26s", nw.Name())
 			for _, l := range loadVals {
-				st, err := engine.RunWaves(f, sim.Bernoulli(l), sp.waves, cfg)
+				st, err := min.Simulate(ctx, nw, append(common,
+					min.WithScenario("bernoulli"), min.WithLoad(l), min.WithWaves(sp.waves))...)
 				if err != nil {
 					return err
 				}
@@ -299,18 +290,18 @@ func runSweep(w io.Writer, sp sweepSpec, cfg engine.Config) error {
 		}
 		fmt.Fprintln(w)
 		for _, name := range names {
-			f, fname, err := buildFabric(false, name, sp.n)
+			nw, err := buildNetwork(false, name, sp.n)
 			if err != nil {
 				return err
 			}
 			for _, q := range queueVals {
 				for _, lanes := range laneVals {
-					fmt.Fprintf(w, "%-26s %-6d %-6d", fname, q, lanes)
+					fmt.Fprintf(w, "%-26s %-6d %-6d", nw.Name(), q, lanes)
 					for _, l := range loadVals {
-						st, err := engine.RunBuffered(f, sim.BufferedConfig{
-							Load: l, Queue: q, Lanes: lanes,
-							Cycles: sp.cycles, Warmup: sp.warmup,
-						}, sp.reps, cfg)
+						st, err := min.SimulateBuffered(ctx, nw, append(common,
+							min.WithLoad(l), min.WithQueue(q), min.WithLanes(lanes),
+							min.WithCycles(sp.cycles), min.WithWarmup(sp.warmup),
+							min.WithReplications(sp.reps))...)
 						if err != nil {
 							return err
 						}

@@ -10,8 +10,23 @@
 // with their §4 relationship, and adds routing and packet-simulation
 // layers that give the equivalence theorem its systems-level meaning.
 //
+// # Public API
+//
+// The package min is the supported surface: build networks (catalog,
+// explicit permutations, or the fluent Builder), check the
+// characterization (min.Check, min.Iso, min.Equivalent), route packets
+// (min.Route, min.TagPositions) and run the parallel simulation engine
+// (min.Simulate, min.SimulateBuffered with functional options and
+// context cancellation). The package minserve serves that API over
+// HTTP JSON, and cmd/minserve is its binary. Everything under
+// internal/ is plumbing with no stability promise; all CLIs (except
+// the module-internal cmd/minbench) and all examples consume only the
+// public API.
+//
 // Layout:
 //
+//	min                  the public façade API (start here)
+//	minserve             HTTP JSON service over min (library)
 //	internal/bitops      label bit manipulation
 //	internal/gf2         GF(2) linear algebra and affine maps
 //	internal/perm        permutations on symbols (link level)
@@ -24,11 +39,15 @@
 //	internal/sim         packet simulation (wave and buffered models)
 //	internal/engine      parallel trial runner (sharded waves, CI stats)
 //	internal/randnet     random networks and counterexample families
+//	internal/census      exhaustive census of small MI-digraphs
 //	internal/ascii       text rendering of networks and figures
 //	internal/experiments the F*/T* experiment harness
-//	cmd/minctl           inspection CLI
-//	cmd/minbench         regenerates every figure/table
-//	cmd/minsim           traffic simulation driver
+//	cmd/minctl           inspection CLI (public API only)
+//	cmd/minsim           traffic simulation driver (public API only)
+//	cmd/minserve         the HTTP service binary
+//	cmd/minbench         regenerates every figure/table (module-internal)
+//	cmd/benchjson        bench output -> JSON + CI allocation gate
+//	examples/            runnable tours, including a minserve client
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-versus-measured record.

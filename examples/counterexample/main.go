@@ -8,15 +8,12 @@ import (
 	"fmt"
 	"log"
 
-	"minequiv/internal/ascii"
-	"minequiv/internal/equiv"
-	"minequiv/internal/randnet"
-	"minequiv/internal/topology"
+	"minequiv/min"
 )
 
 func main() {
 	const n = 4
-	g, err := randnet.TailCycleBanyan(n)
+	tc, err := min.TailCycle(n)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,19 +21,26 @@ func main() {
 	fmt.Println("tail-cycle network: Baseline with the last connection replaced by")
 	fmt.Println("the cycle y -> {y, y+1 mod h}:")
 	fmt.Println()
-	fmt.Print(ascii.Network(g, ascii.Options{OneBased: true}))
+	fmt.Print(tc.Draw(min.DrawOptions{OneBased: true}))
 
-	banyan, _ := g.IsBanyan()
-	fmt.Printf("\nbanyan: %v (every input still reaches every output exactly once)\n\n", banyan)
+	report := min.Check(tc)
+	fmt.Printf("\nbanyan: %v (every input still reaches every output exactly once)\n\n", report.Banyan)
 
 	fmt.Println("window properties:")
-	fmt.Print(ascii.WindowResults(g.CheckAllWindows()))
+	for _, wc := range min.CheckAllWindows(tc) {
+		fmt.Printf("  %s\n", wc)
+	}
 
 	fmt.Println()
-	fmt.Print(equiv.Check(g))
+	fmt.Print(report)
 
-	// The oracle double-checks: no stage-respecting isomorphism at all.
-	if _, found := equiv.FindIsomorphism(g, topology.Baseline(n)); found {
+	// The exact oracle double-checks: no stage-respecting isomorphism
+	// onto Baseline at all.
+	eq, err := min.Equivalent(tc, min.MustBuild(min.Baseline, n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if eq {
 		log.Fatal("BUG: oracle found an isomorphism")
 	}
 	fmt.Println("\nexact search confirms: no isomorphism onto Baseline exists.")

@@ -9,29 +9,25 @@ import (
 	"fmt"
 	"log"
 
-	"minequiv/internal/conn"
-	"minequiv/internal/equiv"
-	"minequiv/internal/topology"
+	"minequiv/min"
 )
 
 func main() {
 	const n = 5
-	nets, err := topology.BuildAll(n)
-	if err != nil {
-		log.Fatal(err)
+	var nets []*min.Network
+	for _, name := range min.CatalogNames() {
+		nets = append(nets, min.MustBuild(name, n))
 	}
 
 	// Step 1: every stage of every network is an independent connection
 	// (the §4 theorem — PIPID implies independence).
 	fmt.Printf("stage-by-stage independence (n=%d):\n", n)
 	for _, nw := range nets {
-		allIndep := true
-		for _, theta := range nw.IndexPerms {
-			if !conn.FromIndexPerm(theta).IsIndependent() {
-				allIndep = false
-			}
+		indep, err := min.IndependentStages(nw)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("  %-28s independent stages: %v\n", nw.Name, allIndep)
+		fmt.Printf("  %-28s independent stages: %v\n", nw.Name(), indep)
 	}
 
 	// Step 2: therefore (Theorem 3) all are isomorphic to Baseline, and
@@ -39,14 +35,14 @@ func main() {
 	fmt.Println("\npairwise verified isomorphisms:")
 	for i := range nets {
 		for j := i + 1; j < len(nets); j++ {
-			iso, err := equiv.IsoBetween(nets[i].Graph, nets[j].Graph)
+			iso, err := min.IsoBetween(nets[i], nets[j])
 			if err != nil {
-				log.Fatalf("%s ~ %s: %v", nets[i].Name, nets[j].Name, err)
+				log.Fatalf("%s ~ %s: %v", nets[i].Name(), nets[j].Name(), err)
 			}
-			if err := iso.Verify(nets[i].Graph, nets[j].Graph); err != nil {
+			if err := iso.Verify(nets[i], nets[j]); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("  %-28s ~ %s\n", nets[i].Name, nets[j].Name)
+			fmt.Printf("  %-28s ~ %s\n", nets[i].Name(), nets[j].Name())
 		}
 	}
 	fmt.Println("\nall 15 pairs equivalent, as the paper proves.")

@@ -1,22 +1,44 @@
-// Figures: regenerate the paper's five figures directly from the public
-// experiment harness — the fastest way to see what the paper is about.
+// Figures: redraw the paper's figures from the public API — the
+// fastest way to see what the paper is about. Figure 1 is the Baseline
+// network, Figure 2 its binary-tuple labeling, Figure 3 the six
+// classical networks side by side (drawn here for n=3), and the closing
+// figure is the tail-cycle counterexample with its violated windows.
 package main
 
 import (
+	"fmt"
 	"log"
-	"os"
 
-	"minequiv/internal/experiments"
+	"minequiv/min"
 )
 
 func main() {
-	for _, id := range []string{"F1", "F2", "F3", "F4", "F5"} {
-		e, ok := experiments.ByID(id)
-		if !ok {
-			log.Fatalf("experiment %s missing", id)
-		}
-		if err := experiments.RunOne(os.Stdout, e); err != nil {
-			log.Fatal(err)
-		}
+	// Fig 1-2: the Baseline network, plain and tuple-labeled.
+	base := min.MustBuild(min.Baseline, 4)
+	fmt.Print(base.Draw(min.DrawOptions{Title: "Fig 1: baseline, n=4", OneBased: true}))
+	fmt.Println()
+	fmt.Print(base.Draw(min.DrawOptions{Title: "Fig 2: baseline, binary tuples", Tuples: true, OneBased: true}))
+
+	// Fig 3: the six classical networks the main corollary equates.
+	for _, info := range min.Catalog() {
+		nw := min.MustBuild(info.Name, 3)
+		fmt.Println()
+		fmt.Print(nw.Draw(min.DrawOptions{
+			Title: fmt.Sprintf("Fig 3: %s, n=3 — %s", info.Name, info.Description), OneBased: true}))
 	}
+
+	// The counterexample: Banyan but not equivalent, with the window
+	// table that proves it.
+	tc, err := min.TailCycle(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(tc.Draw(min.DrawOptions{Title: "tail-cycle counterexample, n=4", OneBased: true}))
+	fmt.Println()
+	for _, wc := range min.CheckAllWindows(tc) {
+		fmt.Printf("  %s\n", wc)
+	}
+	fmt.Println()
+	fmt.Print(min.Check(tc))
 }

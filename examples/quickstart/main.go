@@ -1,37 +1,37 @@
 // Quickstart: build a network, check the paper's characterization, and
-// get an explicit isomorphism onto the Baseline network.
+// get an explicit isomorphism onto the Baseline network — all through
+// the public min API.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"minequiv/internal/equiv"
-	"minequiv/internal/topology"
+	"minequiv/min"
 )
 
 func main() {
 	// Build the Omega network with 4 stages (16 inputs).
-	omega := topology.MustBuild(topology.NameOmega, 4)
+	omega := min.MustBuild(min.Omega, 4)
 	fmt.Printf("built %s: %d stages, %d cells per stage, %d terminals\n",
-		omega.Name, omega.Graph.Stages(), omega.Graph.CellsPerStage(), omega.Graph.Terminals())
+		omega.Name(), omega.Stages(), omega.CellsPerStage(), omega.Terminals())
 
 	// The paper's characterization: Banyan + P(1,*) + P(*,n).
-	report := equiv.Check(omega.Graph)
+	report := min.Check(omega)
 	fmt.Print(report)
 
 	// Theorem: the characterization implies an isomorphism onto the
 	// Baseline network; the library constructs it explicitly.
-	iso, err := equiv.IsoToBaseline(omega.Graph)
+	iso, err := min.Iso(omega)
 	if err != nil {
 		log.Fatal(err)
 	}
-	baseline := topology.Baseline(4)
-	if err := iso.Verify(omega.Graph, baseline); err != nil {
+	baseline := min.MustBuild(min.Baseline, 4)
+	if err := iso.Verify(omega, baseline); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("explicit isomorphism omega -> baseline, per-stage node maps:")
 	for s, m := range iso.Maps {
-		fmt.Printf("  stage %d: %v\n", s+1, []uint64(m))
+		fmt.Printf("  stage %d: %v\n", s+1, m)
 	}
 }

@@ -8,47 +8,38 @@ import (
 	"fmt"
 	"log"
 
-	"minequiv/internal/route"
-	"minequiv/internal/topology"
+	"minequiv/min"
 )
 
 func main() {
 	const n = 4
 	fmt.Printf("destination-tag schedules (n=%d, N=%d):\n", n, 1<<n)
-	for _, name := range topology.Names() {
-		nw := topology.MustBuild(name, n)
-		r, err := route.NewRouter(nw.IndexPerms)
+	for _, name := range min.CatalogNames() {
+		nw := min.MustBuild(name, n)
+		tags, err := min.TagPositions(nw)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-28s stage s reads destination bit %v\n", name, r.TagPositions())
+		fmt.Printf("  %-28s stage s reads destination bit %v\n", name, tags)
 	}
 
 	// Route a packet through Omega from terminal 5 to terminal 12.
-	omega := topology.MustBuild(topology.NameOmega, n)
-	r, err := route.NewRouter(omega.IndexPerms)
-	if err != nil {
-		log.Fatal(err)
-	}
-	src, dst := uint64(5), uint64(12)
-	p, err := r.Route(src, dst)
+	omega := min.MustBuild(min.Omega, n)
+	src, dst := 5, 12
+	p, err := min.Route(omega, src, dst)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nomega: packet %d -> %d (dst = 0b%04b):\n", src, dst, dst)
-	for _, st := range p.Steps {
+	for _, h := range p.Hops {
 		fmt.Printf("  stage %d: cell %2d, arrive port %d, leave port %d\n",
-			st.Stage+1, st.Cell, st.InPort, st.OutPort)
+			h.Stage+1, h.Cell, h.InPort, h.OutPort)
 	}
 
 	// Blocking: unique paths mean some permutations cannot be routed
 	// simultaneously. Count them exhaustively for N=8.
-	omega3 := topology.MustBuild(topology.NameOmega, 3)
-	r3, err := route.NewRouter(omega3.IndexPerms)
-	if err != nil {
-		log.Fatal(err)
-	}
-	adm, total, err := r3.CountAdmissible()
+	omega3 := min.MustBuild(min.Omega, 3)
+	adm, total, err := min.CountAdmissible(omega3)
 	if err != nil {
 		log.Fatal(err)
 	}

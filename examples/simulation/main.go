@@ -1,115 +1,98 @@
 // Simulation: the systems-level meaning of topological equivalence. The
 // six classical networks, being isomorphic, are statistically identical
 // under uniform traffic; the non-equivalent tail-cycle Banyan is a
-// different machine. All runs go through the parallel trial engine:
-// waves are sharded across GOMAXPROCS workers and every wave has its
-// own deterministic rng stream, so the numbers printed here do not
-// depend on core count.
+// different machine. All runs go through min.Simulate, which shards
+// waves across GOMAXPROCS workers with a deterministic rng stream per
+// wave, so the numbers printed here do not depend on core count.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"minequiv/internal/engine"
-	"minequiv/internal/randnet"
-	"minequiv/internal/sim"
-	"minequiv/internal/topology"
+	"minequiv/min"
 )
 
 func main() {
 	const n = 6
 	const waves = 400
-	cfg := engine.Config{Seed: 7}
+	ctx := context.Background()
 
 	fmt.Printf("uniform-traffic throughput, n=%d (N=%d), %d waves (mean ± 95%% CI):\n", n, 1<<n, waves)
-	for _, name := range topology.Names() {
-		nw := topology.MustBuild(name, n)
-		fabric, err := sim.NewFabric(nw.LinkPerms)
+	for _, name := range min.CatalogNames() {
+		st, err := min.Simulate(ctx, min.MustBuild(name, n),
+			min.WithWaves(waves), min.WithSeed(7))
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err := engine.RunWaves(fabric, sim.Uniform(), waves, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %-28s %.4f ± %.4f\n", name, st.Throughput.Mean, st.Throughput.CI95())
+		fmt.Printf("  %-28s %.4f ± %.4f\n", name, st.Throughput.Mean, st.Throughput.CI95)
 	}
 
-	perms, err := randnet.TailCycleLinkPerms(n)
+	tc, err := min.TailCycle(n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fabric, err := sim.NewFabric(perms)
-	if err != nil {
-		log.Fatal(err)
-	}
-	st, err := engine.RunWaves(fabric, sim.Uniform(), waves, cfg)
+	st, err := min.Simulate(ctx, tc, min.WithWaves(waves), min.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  %-28s %.4f ± %.4f   (Banyan but NOT baseline-equivalent)\n",
-		"tail-cycle", st.Throughput.Mean, st.Throughput.CI95())
+		"tail-cycle", st.Throughput.Mean, st.Throughput.CI95)
 
-	// The named scenario catalog on one fabric: how each adversarial
+	// The named scenario catalog on one network: how each adversarial
 	// pattern stresses the same hardware.
-	base, err := sim.NewFabric(topology.MustBuild(topology.NameBaseline, n).LinkPerms)
-	if err != nil {
-		log.Fatal(err)
-	}
+	base := min.MustBuild(min.Baseline, n)
 	fmt.Printf("\nbaseline n=%d across the scenario catalog (%d waves each):\n", n, waves)
-	for _, sc := range sim.Scenarios() {
-		st, err := engine.RunWaves(base, sc.New(sim.DefaultScenarioParams()), waves, cfg)
+	for _, sc := range min.Scenarios() {
+		st, err := min.Simulate(ctx, base,
+			min.WithWaves(waves), min.WithSeed(7), min.WithScenario(sc.Name))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-12s %.4f ± %.4f\n", sc.Name, st.Throughput.Mean, st.Throughput.CI95())
+		fmt.Printf("  %-12s %.4f ± %.4f\n", sc.Name, st.Throughput.Mean, st.Throughput.CI95)
 	}
 
 	// Buffered model: latency under increasing load, replicated runs.
 	fmt.Printf("\nbuffered baseline n=%d: load sweep (queue 4, 3000 cycles, 4 reps):\n", n)
 	for _, load := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
-		st, err := engine.RunBuffered(base, sim.BufferedConfig{
-			Load: load, Queue: 4, Cycles: 3000, Warmup: 300,
-		}, 4, engine.Config{Seed: 11})
+		st, err := min.SimulateBuffered(ctx, base,
+			min.WithLoad(load), min.WithQueue(4), min.WithCycles(3000), min.WithWarmup(300),
+			min.WithReplications(4), min.WithSeed(11))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  load %.1f: throughput %.4f ± %.4f, latency %6.2f mean / %3.0f p99 cycles\n",
-			load, st.Throughput.Mean, st.Throughput.CI95(), st.Latency.Mean, st.LatencyP99.Mean)
+			load, st.Throughput.Mean, st.Throughput.CI95, st.Latency.Mean, st.LatencyP99.Mean)
 	}
 
 	// Multi-lane storage: at saturation, splitting the same buffer
 	// budget into independent lanes bypasses head-of-line blocking.
 	fmt.Printf("\nbuffered baseline n=%d at load 1.0, lanes x queue = 8 fixed:\n", n)
 	for _, v := range []struct{ lanes, queue int }{{1, 8}, {2, 4}, {4, 2}} {
-		st, err := engine.RunBuffered(base, sim.BufferedConfig{
-			Load: 1.0, Queue: v.queue, Lanes: v.lanes, Cycles: 3000, Warmup: 300,
-		}, 4, engine.Config{Seed: 11})
+		st, err := min.SimulateBuffered(ctx, base,
+			min.WithLoad(1.0), min.WithQueue(v.queue), min.WithLanes(v.lanes),
+			min.WithCycles(3000), min.WithWarmup(300),
+			min.WithReplications(4), min.WithSeed(11))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  lanes %d queue %d: throughput %.4f ± %.4f, p99 latency %3.0f cycles\n",
-			v.lanes, v.queue, st.Throughput.Mean, st.Throughput.CI95(), st.LatencyP99.Mean)
+			v.lanes, v.queue, st.Throughput.Mean, st.Throughput.CI95, st.LatencyP99.Mean)
 	}
 
 	// The scenario registry drives buffered injection too: a transpose
 	// pattern thinned to 0.5 load versus plain Bernoulli at 0.5.
 	fmt.Printf("\nbuffered baseline n=%d at load 0.5, pattern-driven injection:\n", n)
-	for _, p := range []struct {
-		name string
-		tr   sim.Traffic
-	}{
-		{"bernoulli", sim.Bernoulli(0.5)},
-		{"transpose", sim.Thinned(0.5, sim.Transpose())},
-	} {
-		st, err := engine.RunBuffered(base, sim.BufferedConfig{
-			Queue: 4, Lanes: 2, Cycles: 3000, Warmup: 300, Pattern: p.tr,
-		}, 4, engine.Config{Seed: 11})
+	for _, name := range []string{"bernoulli", "transpose"} {
+		st, err := min.SimulateBuffered(ctx, base,
+			min.WithScenario(name), min.WithLoad(0.5),
+			min.WithQueue(4), min.WithLanes(2), min.WithCycles(3000), min.WithWarmup(300),
+			min.WithReplications(4), min.WithSeed(11))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-10s throughput %.4f ± %.4f, mean latency %6.2f cycles\n",
-			p.name, st.Throughput.Mean, st.Throughput.CI95(), st.Latency.Mean)
+			name, st.Throughput.Mean, st.Throughput.CI95, st.Latency.Mean)
 	}
 }

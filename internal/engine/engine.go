@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -42,8 +43,10 @@ func (c Config) workers(trials int) int {
 // shard runs fn(t) for every t in [0, trials) across the configured
 // worker count, each worker claiming trial indices from a shared atomic
 // counter. fn must write its result into per-index storage; the first
-// error aborts remaining trials.
-func shard(cfg Config, trials int, scratch func() any, fn func(t int, scratch any) error) error {
+// error aborts remaining trials. Cancelling ctx stops every worker at
+// its next trial boundary (a single trial is never interrupted
+// mid-flight) and ctx.Err() is returned.
+func shard(ctx context.Context, cfg Config, trials int, scratch func() any, fn func(t int, scratch any) error) error {
 	nw := cfg.workers(trials)
 	var next atomic.Int64
 	var failed atomic.Bool
@@ -55,6 +58,9 @@ func shard(cfg Config, trials int, scratch func() any, fn func(t int, scratch an
 			defer wg.Done()
 			sc := scratch()
 			for !failed.Load() {
+				if ctx.Err() != nil {
+					return
+				}
 				t := int(next.Add(1)) - 1
 				if t >= trials {
 					return
@@ -73,7 +79,7 @@ func shard(cfg Config, trials int, scratch func() any, fn func(t int, scratch an
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // WaveStats aggregates a sharded run of independent waves.
@@ -96,14 +102,15 @@ type WaveStats struct {
 // RunWaves pushes `waves` independent waves of the pattern through the
 // fabric, sharded across cfg.Workers goroutines. The pattern must be a
 // pure function of (dsts, rng) — every pattern in the sim registry is —
-// since all workers share it with distinct buffers and rngs.
-func RunWaves(f *sim.Fabric, pattern sim.Traffic, waves int, cfg Config) (WaveStats, error) {
+// since all workers share it with distinct buffers and rngs. Cancelling
+// ctx aborts the run within one trial and returns ctx.Err().
+func RunWaves(ctx context.Context, f *sim.Fabric, pattern sim.Traffic, waves int, cfg Config) (WaveStats, error) {
 	if waves <= 0 {
 		return WaveStats{}, fmt.Errorf("engine: waves must be positive")
 	}
 	type trial struct{ offered, delivered, dropped, misrouted int }
 	results := make([]trial, waves)
-	err := shard(cfg, waves,
+	err := shard(ctx, cfg, waves,
 		func() any { return f.NewWaveRunner() },
 		func(t int, scratch any) error {
 			runner := scratch.(*sim.WaveRunner)
@@ -176,8 +183,9 @@ type BufferedStats struct {
 // loop allocates nothing; per trial only the derived rng is allocated.
 // Trial t always uses the stream NewRand(cfg.Seed, t) and reduction is
 // by trial index, keeping the aggregates byte-identical for any worker
-// count.
-func RunBuffered(f *sim.Fabric, bc sim.BufferedConfig, reps int, cfg Config) (BufferedStats, error) {
+// count. Cancelling ctx aborts the run within one replication and
+// returns ctx.Err().
+func RunBuffered(ctx context.Context, f *sim.Fabric, bc sim.BufferedConfig, reps int, cfg Config) (BufferedStats, error) {
 	if reps <= 0 {
 		return BufferedStats{}, fmt.Errorf("engine: replications must be positive")
 	}
@@ -191,7 +199,7 @@ func RunBuffered(f *sim.Fabric, bc sim.BufferedConfig, reps int, cfg Config) (Bu
 	// runner-owned StageOccupancy into its own slot so the worker's
 	// next replication cannot overwrite it, without per-trial allocs.
 	occ := make([]float64, reps*f.Spans)
-	err := shard(cfg, reps,
+	err := shard(ctx, cfg, reps,
 		func() any {
 			r, _ := f.NewBufferedRunner(bc)
 			return r

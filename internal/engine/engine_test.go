@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand/v2"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"minequiv/internal/sim"
@@ -26,12 +29,12 @@ func fabricFor(t testing.TB, name string, n int) *sim.Fabric {
 func TestWaveDeterminismAcrossWorkers(t *testing.T) {
 	f := fabricFor(t, topology.NameOmega, 6)
 	for _, pattern := range []sim.Traffic{sim.Uniform(), sim.Bernoulli(0.6), sim.Bursty(0.3, 1.0, 0.1)} {
-		base, err := RunWaves(f, pattern, 96, Config{Workers: 1, Seed: 7})
+		base, err := RunWaves(context.Background(), f, pattern, 96, Config{Workers: 1, Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 3, 8, 17} {
-			got, err := RunWaves(f, pattern, 96, Config{Workers: workers, Seed: 7})
+			got, err := RunWaves(context.Background(), f, pattern, 96, Config{Workers: workers, Seed: 7})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -52,12 +55,12 @@ func TestBufferedDeterminismAcrossWorkers(t *testing.T) {
 		{Load: 1.0, Queue: 2, Lanes: 3, Cycles: 300, Warmup: 30, Arbiter: sim.ArbRoundRobin},
 		{Queue: 2, Lanes: 2, Cycles: 200, Warmup: 20, Pattern: sim.Thinned(0.5, sim.Transpose())},
 	} {
-		base, err := RunBuffered(f, cfg, 12, Config{Workers: 1, Seed: 11})
+		base, err := RunBuffered(context.Background(), f, cfg, 12, Config{Workers: 1, Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 5, 12} {
-			got, err := RunBuffered(f, cfg, 12, Config{Workers: workers, Seed: 11})
+			got, err := RunBuffered(context.Background(), f, cfg, 12, Config{Workers: workers, Seed: 11})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -72,11 +75,11 @@ func TestBufferedDeterminismAcrossWorkers(t *testing.T) {
 // same sample path.
 func TestSeedChangesResults(t *testing.T) {
 	f := fabricFor(t, topology.NameOmega, 5)
-	a, err := RunWaves(f, sim.Uniform(), 32, Config{Seed: 1})
+	a, err := RunWaves(context.Background(), f, sim.Uniform(), 32, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunWaves(f, sim.Uniform(), 32, Config{Seed: 2})
+	b, err := RunWaves(context.Background(), f, sim.Uniform(), 32, Config{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +93,7 @@ func TestSeedChangesResults(t *testing.T) {
 func TestWaveStatsTrackAnalytic(t *testing.T) {
 	n := 6
 	f := fabricFor(t, topology.NameOmega, n)
-	st, err := RunWaves(f, sim.Uniform(), 400, Config{Seed: 42})
+	st, err := RunWaves(context.Background(), f, sim.Uniform(), 400, Config{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +114,7 @@ func TestWaveStatsTrackAnalytic(t *testing.T) {
 func TestBufferedStatsAggregate(t *testing.T) {
 	f := fabricFor(t, topology.NameFlip, 4)
 	cfg := sim.BufferedConfig{Load: 0.4, Queue: 4, Cycles: 500, Warmup: 50}
-	st, err := RunBuffered(f, cfg, 6, Config{Seed: 5})
+	st, err := RunBuffered(context.Background(), f, cfg, 6, Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +150,7 @@ func TestBufferedStatsAggregate(t *testing.T) {
 // otherwise dominate the average.
 func TestThroughputIsPooledRatio(t *testing.T) {
 	f := fabricFor(t, topology.NameOmega, 6)
-	st, err := RunWaves(f, sim.Bursty(0.2, 1.0, 0.05), 200, Config{Seed: 3})
+	st, err := RunWaves(context.Background(), f, sim.Bursty(0.2, 1.0, 0.05), 200, Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,10 +165,10 @@ func TestThroughputIsPooledRatio(t *testing.T) {
 
 func TestEngineErrors(t *testing.T) {
 	f := fabricFor(t, topology.NameOmega, 3)
-	if _, err := RunWaves(f, sim.Uniform(), 0, Config{}); err == nil {
+	if _, err := RunWaves(context.Background(), f, sim.Uniform(), 0, Config{}); err == nil {
 		t.Error("zero waves accepted")
 	}
-	if _, err := RunBuffered(f, sim.BufferedConfig{Load: 0.5, Queue: 1, Cycles: 10}, 0, Config{}); err == nil {
+	if _, err := RunBuffered(context.Background(), f, sim.BufferedConfig{Load: 0.5, Queue: 1, Cycles: 10}, 0, Config{}); err == nil {
 		t.Error("zero replications accepted")
 	}
 	// A trial error (out-of-range destination) must propagate out of
@@ -175,12 +178,46 @@ func TestEngineErrors(t *testing.T) {
 			dsts[i] = len(dsts) // one past the last terminal
 		}
 	})
-	if _, err := RunWaves(f, bad, 16, Config{Workers: 4}); err == nil {
+	if _, err := RunWaves(context.Background(), f, bad, 16, Config{Workers: 4}); err == nil {
 		t.Error("out-of-range traffic accepted")
 	}
 	// An invalid buffered config must propagate too.
-	if _, err := RunBuffered(f, sim.BufferedConfig{Load: 2, Queue: 1, Cycles: 10}, 4, Config{Workers: 2}); err == nil {
+	if _, err := RunBuffered(context.Background(), f, sim.BufferedConfig{Load: 2, Queue: 1, Cycles: 10}, 4, Config{Workers: 2}); err == nil {
 		t.Error("invalid buffered config accepted")
+	}
+}
+
+// TestCancellation: a cancelled context stops a sharded run between
+// trials and surfaces ctx.Err(); an already-cancelled context runs no
+// trials at all.
+func TestCancellation(t *testing.T) {
+	f := fabricFor(t, topology.NameOmega, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunWaves(ctx, f, sim.Uniform(), 1<<20, Config{Workers: 2, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	bc := sim.BufferedConfig{Load: 0.9, Queue: 4, Cycles: 200, Warmup: 20}
+	if _, err := RunBuffered(ctx, f, bc, 1<<16, Config{Workers: 2, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("buffered: want context.Canceled, got %v", err)
+	}
+	// Mid-run cancellation: cancel from a trial callback and check the
+	// run aborts long before the full trial count.
+	var ran atomic.Int64
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	pattern := sim.Traffic(func(dsts []int, rng *rand.Rand) {
+		if ran.Add(1) == 8 {
+			cancel2()
+		}
+		sim.Uniform()(dsts, rng)
+	})
+	_, err := RunWaves(ctx2, f, pattern, 1<<20, Config{Workers: 2, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run: want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n >= 1<<20 {
+		t.Fatalf("run did not stop early (ran %d trials)", n)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -34,7 +35,7 @@ func RunT15(w io.Writer) error {
 	fmt.Fprintf(w, "%-8s %-22s %-14s %-18s %-10s\n",
 		"load", "throughput", "mean latency", "p50/p95/p99", "rejected")
 	for _, load := range loads {
-		st, err := engine.RunBuffered(f, sim.BufferedConfig{
+		st, err := engine.RunBuffered(context.Background(), f, sim.BufferedConfig{
 			Load: load, Queue: 4, Cycles: cycles, Warmup: warmup,
 		}, reps, cfg)
 		if err != nil {
@@ -51,7 +52,7 @@ func RunT15(w io.Writer) error {
 	fmt.Fprintf(w, "%-8s %-8s %-22s %-14s %-12s\n",
 		"lanes", "queue", "throughput", "mean latency", "p99")
 	for _, v := range []struct{ lanes, queue int }{{1, 8}, {2, 4}, {4, 2}, {8, 1}} {
-		st, err := engine.RunBuffered(f, sim.BufferedConfig{
+		st, err := engine.RunBuffered(context.Background(), f, sim.BufferedConfig{
 			Load: 1.0, Queue: v.queue, Lanes: v.lanes, Cycles: cycles, Warmup: warmup,
 		}, reps, cfg)
 		if err != nil {
@@ -74,7 +75,7 @@ func RunT15(w io.Writer) error {
 		{"bitreversal", sim.BitReversal()},
 		{"hotspot30%", sim.HotSpot(0, 0.3)},
 	} {
-		st, err := engine.RunBuffered(f, sim.BufferedConfig{
+		st, err := engine.RunBuffered(context.Background(), f, sim.BufferedConfig{
 			Queue: 4, Lanes: 2, Cycles: cycles, Warmup: warmup, Pattern: sc.tr,
 		}, reps, cfg)
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -61,7 +62,7 @@ func RunT7(w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%-26s", tg.name)
 		for _, c := range cells {
-			st, err := engine.RunWaves(f, c.traffic, waves, cfg)
+			st, err := engine.RunWaves(context.Background(), f, c.traffic, waves, cfg)
 			if err != nil {
 				return err
 			}
@@ -78,7 +79,7 @@ func RunT7(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		st, err := engine.RunBuffered(f, sim.BufferedConfig{
+		st, err := engine.RunBuffered(context.Background(), f, sim.BufferedConfig{
 			Load: 0.6, Queue: 4, Cycles: 2000, Warmup: 200,
 		}, reps, engine.Config{Seed: 43})
 		if err != nil {

@@ -1,0 +1,153 @@
+package min
+
+import (
+	"fmt"
+
+	"minequiv/internal/pipid"
+)
+
+// StageConn is one inter-stage connection pattern for the Builder. The
+// constructors below cover the index-digit permutations the classical
+// networks are made of; IndexBits accepts an arbitrary theta.
+type StageConn struct {
+	desc string
+	make func(w int) (pipid.IndexPerm, error)
+}
+
+// String names the connection (with the bit width still unbound).
+func (c StageConn) String() string { return c.desc }
+
+// PerfectShuffle is sigma: a circular left shift of the link-label bits.
+// Every stage of the Omega network.
+func PerfectShuffle() StageConn {
+	return StageConn{desc: "perfect-shuffle", make: func(w int) (pipid.IndexPerm, error) {
+		return pipid.PerfectShuffle(w), nil
+	}}
+}
+
+// InverseShuffle is sigma^{-1}: a circular right shift. Every stage of
+// the Flip network.
+func InverseShuffle() StageConn {
+	return StageConn{desc: "inverse-shuffle", make: func(w int) (pipid.IndexPerm, error) {
+		return pipid.InverseShuffle(w), nil
+	}}
+}
+
+// Butterfly is beta_k: the transposition of bit 0 and bit k, for k in
+// [1, stages-1]. The Indirect Binary Cube uses beta_1..beta_{n-1}
+// ascending; the Modified Data Manipulator uses them descending.
+func Butterfly(k int) StageConn {
+	return StageConn{desc: fmt.Sprintf("butterfly(%d)", k), make: func(w int) (pipid.IndexPerm, error) {
+		if k < 1 || k > w-1 {
+			return pipid.IndexPerm{}, fmt.Errorf("min: butterfly index %d out of range [1,%d]", k, w-1)
+		}
+		return pipid.Butterfly(w, k), nil
+	}}
+}
+
+// Subshuffle is sigma_k: the perfect shuffle restricted to the low k
+// bits, for k in [2, stages]. Stage s of the Reverse Baseline network
+// is Subshuffle(s+2).
+func Subshuffle(k int) StageConn {
+	return StageConn{desc: fmt.Sprintf("subshuffle(%d)", k), make: func(w int) (pipid.IndexPerm, error) {
+		if k < 2 || k > w {
+			return pipid.IndexPerm{}, fmt.Errorf("min: subshuffle width %d out of range [2,%d]", k, w)
+		}
+		return pipid.Subshuffle(w, k), nil
+	}}
+}
+
+// InverseSubshuffle is sigma_k^{-1}, for k in [2, stages]. Stage s of
+// the Baseline network is InverseSubshuffle(stages-s).
+func InverseSubshuffle(k int) StageConn {
+	return StageConn{desc: fmt.Sprintf("inverse-subshuffle(%d)", k), make: func(w int) (pipid.IndexPerm, error) {
+		if k < 2 || k > w {
+			return pipid.IndexPerm{}, fmt.Errorf("min: inverse-subshuffle width %d out of range [2,%d]", k, w)
+		}
+		return pipid.InverseSubshuffle(w, k), nil
+	}}
+}
+
+// IndexBits is an arbitrary index-digit permutation: theta[j] is the
+// source bit position of output bit j. The length must equal the
+// builder's stage count.
+func IndexBits(theta ...int) StageConn {
+	th := append([]int(nil), theta...)
+	return StageConn{desc: fmt.Sprintf("index-bits%v", th), make: func(w int) (pipid.IndexPerm, error) {
+		if len(th) != w {
+			return pipid.IndexPerm{}, fmt.Errorf("min: index perm on %d bits, want %d", len(th), w)
+		}
+		return pipid.New(append([]int(nil), th...))
+	}}
+}
+
+// Builder assembles a PIPID network stage by stage. Methods chain; the
+// first error sticks and is reported by Build.
+//
+//	nw, err := min.NewBuilder(4).
+//		Stage(min.Butterfly(2)).
+//		Stage(min.Butterfly(1)).
+//		Stage(min.Butterfly(3)).
+//		Build("my-cascade")
+type Builder struct {
+	stages int
+	conns  []pipid.IndexPerm
+	descs  []string
+	err    error
+}
+
+// NewBuilder starts a network with the given stage count (in
+// [2, MaxStages]); Stage must then be called stages-1 times (once per
+// inter-stage connection), or StageAll once.
+func NewBuilder(stages int) *Builder {
+	b := &Builder{stages: stages}
+	if stages < 2 || stages > MaxStages {
+		b.err = fmt.Errorf("min: stage count %d out of range [2,%d]", stages, MaxStages)
+	}
+	return b
+}
+
+// Stage appends one inter-stage connection.
+func (b *Builder) Stage(c StageConn) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.conns) == b.stages-1 {
+		b.err = fmt.Errorf("min: too many stages: %d-stage network has %d connections", b.stages, b.stages-1)
+		return b
+	}
+	ip, err := c.make(b.stages)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.conns = append(b.conns, ip)
+	b.descs = append(b.descs, c.desc)
+	return b
+}
+
+// StageAll fills every remaining connection with the same pattern (the
+// Omega and Flip shape: one connector repeated).
+func (b *Builder) StageAll(c StageConn) *Builder {
+	for b.err == nil && len(b.conns) < b.stages-1 {
+		b.Stage(c)
+	}
+	return b
+}
+
+// Build finalizes the network. Every one of the stages-1 connections
+// must have been supplied.
+func (b *Builder) Build(name string) (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.conns) != b.stages-1 {
+		return nil, fmt.Errorf("min: %d of %d connections supplied (have: %v)",
+			len(b.conns), b.stages-1, b.descs)
+	}
+	thetas := make([][]int, len(b.conns))
+	for s, ip := range b.conns {
+		thetas[s] = ip.Theta
+	}
+	return FromIndexPerms(name, b.stages, thetas)
+}

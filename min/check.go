@@ -1,0 +1,198 @@
+package min
+
+import (
+	"fmt"
+
+	"minequiv/internal/conn"
+	"minequiv/internal/equiv"
+	"minequiv/internal/midigraph"
+	"minequiv/internal/perm"
+)
+
+// WindowCheck reports one P(i,j) window property: the window spanning
+// the paper's 1-based stages i..j must have exactly 2^(n-1-(j-i))
+// connected components.
+type WindowCheck struct {
+	I          int  `json:"i"` // 1-based first stage of the window
+	J          int  `json:"j"` // 1-based last stage of the window
+	Components int  `json:"components"`
+	Expected   int  `json:"expected"`
+	OK         bool `json:"ok"`
+}
+
+func (w WindowCheck) String() string {
+	status := "ok"
+	if !w.OK {
+		status = "VIOLATED"
+	}
+	return fmt.Sprintf("P(%d,%d): components=%d expected=%d %s", w.I, w.J, w.Components, w.Expected, status)
+}
+
+// Report is the structured outcome of checking the paper's
+// characterization on one network: the network is baseline-equivalent
+// iff it is Banyan and every prefix window P(1,j) and suffix window
+// P(i,n) holds.
+type Report struct {
+	Network    string `json:"network"`
+	Stages     int    `json:"stages"`
+	Equivalent bool   `json:"equivalent"`
+	Banyan     bool   `json:"banyan"`
+	// BanyanViolation describes the witness when Banyan is false.
+	BanyanViolation string        `json:"banyanViolation,omitempty"`
+	Prefix          []WindowCheck `json:"prefix"` // the P(1,*) family
+	Suffix          []WindowCheck `json:"suffix"` // the P(*,n) family
+}
+
+// Violations lists every failed window in prefix-then-suffix order.
+func (r Report) Violations() []WindowCheck {
+	var out []WindowCheck
+	for _, w := range r.Prefix {
+		if !w.OK {
+			out = append(out, w)
+		}
+	}
+	for _, w := range r.Suffix {
+		if !w.OK {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// String renders a human-readable summary with every violated condition.
+func (r Report) String() string {
+	s := fmt.Sprintf("characterization check (%s, n=%d): ", r.Network, r.Stages)
+	if r.Equivalent {
+		s += "baseline-equivalent\n"
+	} else {
+		s += "NOT baseline-equivalent\n"
+	}
+	if r.Banyan {
+		s += "  banyan: ok\n"
+	} else {
+		s += fmt.Sprintf("  banyan: violated (%s)\n", r.BanyanViolation)
+	}
+	for _, w := range r.Violations() {
+		s += "  " + w.String() + "\n"
+	}
+	return s
+}
+
+func windowChecks(rs []midigraph.WindowResult) []WindowCheck {
+	out := make([]WindowCheck, len(rs))
+	for i, w := range rs {
+		out[i] = WindowCheck{I: w.I, J: w.J, Components: w.Got, Expected: w.Expected, OK: w.OK()}
+	}
+	return out
+}
+
+// Check evaluates the paper's characterization theorem — the Banyan
+// property plus the window families P(1,*) and P(*,n) — and returns the
+// structured report.
+func Check(nw *Network) Report {
+	rep := equiv.Check(nw.graph())
+	out := Report{
+		Network:    nw.Name(),
+		Stages:     rep.Stages,
+		Equivalent: rep.Equivalent(),
+		Banyan:     rep.Banyan,
+		Prefix:     windowChecks(rep.Prefix),
+		Suffix:     windowChecks(rep.Suffix),
+	}
+	if rep.BanyanViolation != nil {
+		out.BanyanViolation = rep.BanyanViolation.Error()
+	}
+	return out
+}
+
+// IsBaselineEquivalent is the headline predicate of the paper.
+func IsBaselineEquivalent(nw *Network) bool { return Check(nw).Equivalent }
+
+// CheckAllWindows evaluates every P(i,j) window, 1 <= i <= j <= n. The
+// theorem only needs the prefix and suffix families Check reports; the
+// full table is what the counterexample analysis inspects.
+func CheckAllWindows(nw *Network) []WindowCheck {
+	return windowChecks(nw.graph().CheckAllWindows())
+}
+
+// Isomorphism is a stage-respecting node bijection between two networks
+// with the same stage count: Maps[s][x] is the image of the stage-s
+// switch cell x.
+type Isomorphism struct {
+	Maps [][]int `json:"maps"`
+}
+
+func fromInternalIso(iso equiv.Isomorphism) Isomorphism {
+	maps := make([][]int, len(iso.Maps))
+	for s, m := range iso.Maps {
+		row := make([]int, m.N())
+		for i, v := range m {
+			row[i] = int(v)
+		}
+		maps[s] = row
+	}
+	return Isomorphism{Maps: maps}
+}
+
+// Verify checks that iso is a genuine isomorphism from a onto b: every
+// per-stage map a bijection, every arc of a carried to an arc of b.
+func (iso Isomorphism) Verify(a, b *Network) error {
+	maps := make([]perm.Perm, len(iso.Maps))
+	for s, m := range iso.Maps {
+		row := make(perm.Perm, len(m))
+		for i, v := range m {
+			if v < 0 {
+				return fmt.Errorf("min: stage %d map has negative entry %d", s, v)
+			}
+			row[i] = uint64(v)
+		}
+		maps[s] = row
+	}
+	return equiv.Isomorphism{Maps: maps}.Verify(a.graph(), b.graph())
+}
+
+// Iso constructs the explicit isomorphism from nw onto the Baseline
+// network of the same size that the characterization theorem promises.
+// It fails with a descriptive error when nw is not baseline-equivalent.
+func Iso(nw *Network) (Isomorphism, error) {
+	iso, err := equiv.IsoToBaseline(nw.graph())
+	if err != nil {
+		return Isomorphism{}, err
+	}
+	return fromInternalIso(iso), nil
+}
+
+// IsoBetween constructs an isomorphism from a onto b. Both networks must
+// be baseline-equivalent (the maps are composed through Baseline).
+func IsoBetween(a, b *Network) (Isomorphism, error) {
+	iso, err := equiv.IsoBetween(a.graph(), b.graph())
+	if err != nil {
+		return Isomorphism{}, err
+	}
+	return fromInternalIso(iso), nil
+}
+
+// Equivalent decides topological equivalence of two same-size networks.
+// When both satisfy the characterization they are equivalent; when
+// exactly one does they are not; when neither does, an exact
+// backtracking search settles it for small networks (up to 6 stages)
+// and an error is returned beyond that bound.
+func Equivalent(a, b *Network) (bool, error) {
+	return equiv.AreEquivalent(a.graph(), b.graph())
+}
+
+// IndependentStages reports whether every stage of a PIPID-defined
+// network induces an independent connection — the §4 theorem's route
+// from PIPID structure to baseline-equivalence. It errors on
+// non-PIPID networks, where the notion does not apply stage-wise.
+func IndependentStages(nw *Network) (bool, error) {
+	if nw.topo.IndexPerms == nil {
+		return false, fmt.Errorf("min: %s is not PIPID-defined", nw.Name())
+	}
+	for _, theta := range nw.topo.IndexPerms {
+		if !conn.FromIndexPerm(theta).IsIndependent() {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,61 @@
+// Package min is the public face of this module: one coherent API over
+// the multistage-interconnection-network theory of Bermond & Fourneau
+// ("Independent Connections: An Easy Characterization of
+// Baseline-Equivalent Multistage Interconnection Networks", ICPP 1988)
+// and the packet-simulation engine built on top of it.
+//
+// Everything under internal/ is plumbing; programs outside this module
+// — and this module's own CLIs (minctl, minsim, minserve) and examples
+// — consume only this package.
+//
+// # Networks
+//
+// A Network is an n-stage MIN on N = 2^n terminals. Build one from the
+// classical catalog, from explicit per-stage permutations, or with the
+// fluent Builder:
+//
+//	omega, _ := min.Build(min.Omega, 4)
+//	custom, _ := min.NewBuilder(4).
+//		Stage(min.Butterfly(1)).
+//		Stage(min.Butterfly(3)).
+//		Stage(min.Butterfly(2)).
+//		Build("my-cascade")
+//	cube, _ := min.NewBuilder(4).StageAll(min.PerfectShuffle()).Build("omega-again")
+//
+// # Theory
+//
+// Check evaluates the paper's characterization (Banyan + P(1,*) +
+// P(*,n)) and returns a structured Report; Iso constructs the explicit
+// isomorphism onto the Baseline network that the theorem promises;
+// Equivalent decides topological equivalence of two networks.
+//
+//	rep := min.Check(omega)        // rep.Equivalent == true
+//	iso, _ := min.Iso(omega)       // per-stage node maps onto Baseline
+//	ok, _ := min.Equivalent(omega, custom)
+//
+// # Routing
+//
+// Route walks a packet from an input terminal to an output terminal.
+// PIPID-defined networks use the paper's §4 bit-directed destination
+// tags (TagPositions exposes the schedule); any other unique-path
+// network falls back to a reachability router.
+//
+//	path, _ := min.Route(omega, 5, 12)
+//
+// # Simulation
+//
+// Simulate (synchronous unbuffered waves, drop on conflict) and
+// SimulateBuffered (multi-lane FIFO store-and-forward) run the parallel
+// trial engine with functional options. Runs are deterministic in
+// (seed, trial count) — never in worker count — and honour context
+// cancellation within one trial:
+//
+//	stats, _ := min.Simulate(ctx, omega,
+//		min.WithWaves(500), min.WithScenario("transpose"),
+//		min.WithSeed(7), min.WithWorkers(4))
+//	bstats, _ := min.SimulateBuffered(ctx, omega,
+//		min.WithLoad(0.8), min.WithQueue(4), min.WithLanes(2),
+//		min.WithCycles(5000))
+//
+// Scenarios lists the named traffic patterns accepted by WithScenario.
+package min

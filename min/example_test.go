@@ -1,0 +1,68 @@
+package min_test
+
+import (
+	"context"
+	"fmt"
+
+	"minequiv/min"
+)
+
+// Build a classical network and check the paper's characterization.
+func ExampleCheck() {
+	omega := min.MustBuild(min.Omega, 4)
+	rep := min.Check(omega)
+	fmt.Println(rep.Equivalent, rep.Banyan, len(rep.Violations()))
+
+	tailCycle, _ := min.TailCycle(4)
+	rep = min.Check(tailCycle)
+	fmt.Println(rep.Equivalent, rep.Banyan, len(rep.Violations()) > 0)
+	// Output:
+	// true true 0
+	// false true true
+}
+
+// Assemble a butterfly cascade with the Builder; every order of the
+// butterflies is baseline-equivalent.
+func ExampleBuilder() {
+	nw, err := min.NewBuilder(4).
+		Stage(min.Butterfly(2)).
+		Stage(min.Butterfly(1)).
+		Stage(min.Butterfly(3)).
+		Build("cascade-213")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(nw.Terminals(), min.IsBaselineEquivalent(nw))
+	// Output: 16 true
+}
+
+// Bit-directed routing: stage s of a PIPID network reads one fixed
+// destination bit.
+func ExampleRoute() {
+	omega := min.MustBuild(min.Omega, 4)
+	tags, _ := min.TagPositions(omega)
+	fmt.Println("tags:", tags)
+	path, _ := min.Route(omega, 5, 12)
+	for _, h := range path.Hops {
+		fmt.Printf("stage %d: cell %d out %d\n", h.Stage, h.Cell, h.OutPort)
+	}
+	// Output:
+	// tags: [3 2 1 0]
+	// stage 0: cell 2 out 1
+	// stage 1: cell 5 out 1
+	// stage 2: cell 3 out 0
+	// stage 3: cell 6 out 0
+}
+
+// Deterministic seeded simulation on the parallel engine.
+func ExampleSimulate() {
+	omega := min.MustBuild(min.Omega, 6)
+	st, err := min.Simulate(context.Background(), omega,
+		min.WithWaves(400), min.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throughput %.2f (analytic %.2f)\n",
+		st.Throughput.Mean, min.AnalyticThroughput(6, 1.0))
+	// Output: throughput 0.36 (analytic 0.36)
+}

@@ -1,0 +1,92 @@
+package min
+
+import (
+	"fmt"
+
+	"minequiv/internal/route"
+)
+
+// Hop records one stage of a routed path.
+type Hop struct {
+	Stage   int `json:"stage"`   // 0-based stage index
+	Cell    int `json:"cell"`    // switch cell at this stage
+	InPort  int `json:"inPort"`  // port the packet arrived on (0/1)
+	OutPort int `json:"outPort"` // port chosen to leave on (0/1)
+}
+
+// Path is a full route from an input terminal to an output terminal.
+type Path struct {
+	Src  int   `json:"src"`
+	Dst  int   `json:"dst"`
+	Hops []Hop `json:"hops"`
+}
+
+func fromInternalPath(p route.Path) Path {
+	out := Path{Src: int(p.Src), Dst: int(p.Dst), Hops: make([]Hop, len(p.Steps))}
+	for i, st := range p.Steps {
+		out.Hops[i] = Hop{Stage: st.Stage, Cell: int(st.Cell), InPort: int(st.InPort), OutPort: int(st.OutPort)}
+	}
+	return out
+}
+
+// Route computes the path from input terminal src to output terminal
+// dst. PIPID-defined networks use the paper's §4 bit-directed
+// destination tags; any other network falls back to a reachability
+// router, which finds the unique path on Banyan networks and fails when
+// no path exists.
+func Route(nw *Network, src, dst int) (Path, error) {
+	if src < 0 || dst < 0 {
+		return Path{}, fmt.Errorf("min: negative terminal (src=%d dst=%d)", src, dst)
+	}
+	if nw.IsPIPID() {
+		r, err := route.NewRouter(nw.topo.IndexPerms)
+		if err == nil {
+			p, err := r.Route(uint64(src), uint64(dst))
+			if err != nil {
+				return Path{}, err
+			}
+			return fromInternalPath(p), nil
+		}
+		// Degenerate PIPID stages (tag overwritten en route) still route
+		// via reachability below.
+	}
+	r, err := route.NewDPRouter(nw.topo.LinkPerms)
+	if err != nil {
+		return Path{}, err
+	}
+	p, err := r.Route(uint64(src), uint64(dst))
+	if err != nil {
+		return Path{}, err
+	}
+	return fromInternalPath(p), nil
+}
+
+// TagPositions returns the destination-tag schedule of a PIPID network:
+// the switch at stage s reads destination bit TagPositions[s]. This is
+// the "very simple bit directed routing" the paper credits PIPID
+// networks with; it errors for non-PIPID or degenerate networks.
+func TagPositions(nw *Network) ([]int, error) {
+	if !nw.IsPIPID() {
+		return nil, fmt.Errorf("min: %s is not PIPID-defined", nw.Name())
+	}
+	r, err := route.NewRouter(nw.topo.IndexPerms)
+	if err != nil {
+		return nil, err
+	}
+	return r.TagPositions(), nil
+}
+
+// CountAdmissible enumerates all N! full permutations of the terminals
+// (practical only for N <= 8, i.e. 3 stages) and counts those the
+// network can route without any switch conflict. A Banyan network
+// realizes exactly 2^(switch count) of them.
+func CountAdmissible(nw *Network) (admissible, total uint64, err error) {
+	if !nw.IsPIPID() {
+		return 0, 0, fmt.Errorf("min: %s is not PIPID-defined", nw.Name())
+	}
+	r, err := route.NewRouter(nw.topo.IndexPerms)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.CountAdmissible()
+}

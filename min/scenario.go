@@ -1,0 +1,27 @@
+package min
+
+import "minequiv/internal/sim"
+
+// ScenarioInfo describes one named traffic pattern accepted by
+// WithScenario.
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// LoadAware scenarios consume the WithLoad value themselves; the
+	// rest inject at every input and are thinned to the offered load.
+	LoadAware bool `json:"loadAware"`
+}
+
+// Scenarios lists the traffic-pattern registry in declaration order.
+func Scenarios() []ScenarioInfo {
+	scs := sim.Scenarios()
+	out := make([]ScenarioInfo, len(scs))
+	for i, s := range scs {
+		out[i] = ScenarioInfo{Name: s.Name, Description: s.Description, LoadAware: s.LoadAware}
+	}
+	return out
+}
+
+// ScenarioNames lists the registered scenario names in declaration
+// order.
+func ScenarioNames() []string { return sim.ScenarioNames() }

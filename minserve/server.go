@@ -1,0 +1,415 @@
+// Package minserve exposes the public min API as an HTTP JSON service.
+// It is deliberately built on nothing but minequiv/min and the standard
+// library — the service is the proof that the façade API is sufficient
+// for serving network construction, equivalence checking, routing and
+// traffic simulation to external consumers.
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/networks   the catalog, the scenario registry and the limits
+//	POST /v1/check      characterization report (+ optional isomorphism)
+//	POST /v1/route      one routed path, with the tag schedule when PIPID
+//	POST /v1/simulate   wave or buffered statistics, seeded and reproducible
+//
+// Responses are deterministic: the same request body (same seed) yields
+// a byte-identical response body. Request contexts are threaded through
+// to the simulation engine, so a client that disconnects mid-simulation
+// stops the run within one trial.
+package minserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"minequiv/min"
+)
+
+// Config bounds what one request may ask of the server.
+type Config struct {
+	// MaxBodyBytes caps the request body size. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxStages caps network size (terminals = 2^stages). Default 10.
+	MaxStages int
+	// MaxTrials caps waves (wave model) and replications (buffered).
+	// Default 100000.
+	MaxTrials int
+	// MaxCycles caps cycles+warmup per buffered replication. Default
+	// 200000.
+	MaxCycles int
+	// MaxWorkers caps the per-request worker count. Default GOMAXPROCS.
+	MaxWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxStages <= 0 {
+		c.MaxStages = 10
+	}
+	if c.MaxStages > min.MaxStages {
+		c.MaxStages = min.MaxStages
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 100000
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 200000
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+type server struct {
+	cfg Config
+}
+
+// NewHandler returns the service's HTTP handler. Zero-value Config
+// fields take the documented defaults.
+func NewHandler(cfg Config) http.Handler {
+	s := &server{cfg: cfg.withDefaults()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/route", s.handleRoute)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	return mux
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// httpError is an error with a chosen status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	// A dead client gets no body; report 499-style close as 400 is
+	// pointless — just bail.
+	if r.Context().Err() != nil {
+		return
+	}
+	status := http.StatusBadRequest
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decode reads one JSON body with the configured size limit, rejecting
+// unknown fields and trailing garbage so malformed requests fail loudly
+// instead of half-applying.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
+		}
+		return badRequest("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("invalid request body: trailing data")
+	}
+	return nil
+}
+
+// networkSpec names or defines the network a request operates on:
+// either a catalog name (or "tail-cycle") with a stage count, or
+// explicit per-stage permutations.
+type networkSpec struct {
+	Network    string  `json:"network,omitempty"`
+	Stages     int     `json:"stages"`
+	LinkPerms  [][]int `json:"linkPerms,omitempty"`
+	IndexPerms [][]int `json:"indexPerms,omitempty"`
+}
+
+// TailCycleName requests the paper's Banyan-but-not-equivalent
+// counterexample in a networkSpec.
+const TailCycleName = "tail-cycle"
+
+func (s *server) buildNetwork(spec networkSpec) (*min.Network, error) {
+	if spec.Stages < 2 || spec.Stages > s.cfg.MaxStages {
+		return nil, badRequest("stages must be in [2,%d], got %d", s.cfg.MaxStages, spec.Stages)
+	}
+	switch {
+	case spec.LinkPerms != nil && spec.IndexPerms != nil:
+		return nil, badRequest("give linkPerms or indexPerms, not both")
+	case spec.LinkPerms != nil:
+		name := spec.Network
+		if name == "" {
+			name = "custom"
+		}
+		return min.FromLinkPerms(name, spec.Stages, spec.LinkPerms)
+	case spec.IndexPerms != nil:
+		name := spec.Network
+		if name == "" {
+			name = "custom"
+		}
+		return min.FromIndexPerms(name, spec.Stages, spec.IndexPerms)
+	case spec.Network == TailCycleName:
+		return min.TailCycle(spec.Stages)
+	case spec.Network != "":
+		return min.Build(spec.Network, spec.Stages)
+	default:
+		return nil, badRequest("missing network name or permutation definition")
+	}
+}
+
+// networksResponse is the GET /v1/networks body.
+type networksResponse struct {
+	Networks  []min.NetworkInfo  `json:"networks"`
+	Scenarios []min.ScenarioInfo `json:"scenarios"`
+	MaxStages int                `json:"maxStages"`
+	MaxTrials int                `json:"maxTrials"`
+	MaxCycles int                `json:"maxCycles"`
+}
+
+func (s *server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, networksResponse{
+		Networks:  min.Catalog(),
+		Scenarios: min.Scenarios(),
+		MaxStages: s.cfg.MaxStages,
+		MaxTrials: s.cfg.MaxTrials,
+		MaxCycles: s.cfg.MaxCycles,
+	})
+}
+
+// checkRequest asks for the characterization report of one network;
+// with Iso true the explicit isomorphism onto Baseline is included
+// (only present when the network is equivalent).
+type checkRequest struct {
+	networkSpec
+	Iso bool `json:"iso,omitempty"`
+}
+
+type checkResponse struct {
+	Report min.Report       `json:"report"`
+	Iso    *min.Isomorphism `json:"iso,omitempty"`
+}
+
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	nw, err := s.buildNetwork(req.networkSpec)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	resp := checkResponse{Report: min.Check(nw)}
+	if req.Iso && resp.Report.Equivalent {
+		iso, err := min.Iso(nw)
+		if err != nil {
+			writeErr(w, r, err)
+			return
+		}
+		resp.Iso = &iso
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type routeRequest struct {
+	networkSpec
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+type routeResponse struct {
+	Network string   `json:"network"`
+	Path    min.Path `json:"path"`
+	// TagPositions is the bit-directed routing schedule, present for
+	// PIPID-defined networks.
+	TagPositions []int `json:"tagPositions,omitempty"`
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	var req routeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	nw, err := s.buildNetwork(req.networkSpec)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	if req.Src < 0 || req.Src >= nw.Terminals() || req.Dst < 0 || req.Dst >= nw.Terminals() {
+		writeErr(w, r, badRequest("terminal out of range [0,%d): src=%d dst=%d",
+			nw.Terminals(), req.Src, req.Dst))
+		return
+	}
+	path, err := min.Route(nw, req.Src, req.Dst)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	resp := routeResponse{Network: nw.Name(), Path: path}
+	if tags, err := min.TagPositions(nw); err == nil {
+		resp.TagPositions = tags
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// simulateRequest runs the wave model (default) or the buffered model.
+// Zero-valued tunables take the min package defaults (waves 500,
+// replications 1, queue 4, lanes 1, cycles 5000, warmup 500 — resolved
+// before the server's limits are checked); Seed defaults to 1 so
+// unseeded requests are reproducible too.
+type simulateRequest struct {
+	networkSpec
+	Model    string  `json:"model,omitempty"` // "wave" (default) or "buffered"
+	Scenario string  `json:"scenario,omitempty"`
+	Load     float64 `json:"load,omitempty"`
+	HotDst   int     `json:"hotDst,omitempty"`
+	HotProb  float64 `json:"hotProb,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
+
+	Waves int `json:"waves,omitempty"` // wave model
+
+	Replications int    `json:"replications,omitempty"` // buffered model
+	Queue        int    `json:"queue,omitempty"`
+	Lanes        int    `json:"lanes,omitempty"`
+	Cycles       int    `json:"cycles,omitempty"`
+	Warmup       int    `json:"warmup,omitempty"`
+	Arbiter      string `json:"arbiter,omitempty"`
+	LaneSelect   string `json:"laneSelect,omitempty"`
+}
+
+type simulateResponse struct {
+	Model    string             `json:"model"`
+	Wave     *min.WaveStats     `json:"wave,omitempty"`
+	Buffered *min.BufferedStats `json:"buffered,omitempty"`
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := s.decode(w, r, &req); err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	nw, err := s.buildNetwork(req.networkSpec)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	if req.Workers < 0 || req.Workers > s.cfg.MaxWorkers {
+		req.Workers = s.cfg.MaxWorkers
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	opts := []min.Option{min.WithSeed(seed), min.WithWorkers(req.Workers)}
+	if req.Scenario != "" {
+		opts = append(opts, min.WithScenario(req.Scenario))
+	}
+	if req.Load != 0 {
+		opts = append(opts, min.WithLoad(req.Load))
+	}
+	if req.HotProb != 0 || req.HotDst != 0 {
+		opts = append(opts, min.WithHotspot(req.HotDst, req.HotProb))
+	}
+	switch req.Model {
+	case "", "wave":
+		if req.Replications != 0 || req.Queue != 0 || req.Lanes != 0 || req.Cycles != 0 ||
+			req.Warmup != 0 || req.Arbiter != "" || req.LaneSelect != "" {
+			writeErr(w, r, badRequest("buffered-model fields set on a wave request"))
+			return
+		}
+		waves := req.Waves
+		if waves == 0 {
+			waves = 500
+		}
+		if waves < 1 || waves > s.cfg.MaxTrials {
+			writeErr(w, r, badRequest("waves must be in [1,%d], got %d", s.cfg.MaxTrials, waves))
+			return
+		}
+		st, err := min.Simulate(r.Context(), nw, append(opts, min.WithWaves(waves))...)
+		if err != nil {
+			writeErr(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, simulateResponse{Model: "wave", Wave: &st})
+
+	case "buffered":
+		if req.Waves != 0 {
+			writeErr(w, r, badRequest("waves is a wave-model field; buffered runs use cycles/replications"))
+			return
+		}
+		// Resolve defaults BEFORE checking the operator's limits, so an
+		// omitted field cannot slip a default past a cap set below it.
+		// A zero field means "default"; negatives are rejected.
+		reps := valueOr(req.Replications, 1)
+		cycles := valueOr(req.Cycles, 5000)
+		warmup := valueOr(req.Warmup, 500)
+		queue := valueOr(req.Queue, 4)
+		lanes := valueOr(req.Lanes, 1)
+		if reps < 0 || cycles < 0 || warmup < 0 || queue < 0 || lanes < 0 {
+			writeErr(w, r, badRequest("negative buffered-model field"))
+			return
+		}
+		if reps > s.cfg.MaxTrials {
+			writeErr(w, r, badRequest("replications must be <= %d, got %d", s.cfg.MaxTrials, reps))
+			return
+		}
+		if cycles+warmup > s.cfg.MaxCycles {
+			writeErr(w, r, badRequest("cycles+warmup must be <= %d, got %d", s.cfg.MaxCycles, cycles+warmup))
+			return
+		}
+		opts = append(opts,
+			min.WithReplications(reps), min.WithQueue(queue), min.WithLanes(lanes),
+			min.WithCycles(cycles), min.WithWarmup(warmup))
+		if req.Arbiter != "" {
+			opts = append(opts, min.WithArbiter(min.Arbiter(req.Arbiter)))
+		}
+		if req.LaneSelect != "" {
+			opts = append(opts, min.WithLaneSelect(min.LaneSelect(req.LaneSelect)))
+		}
+		st, err := min.SimulateBuffered(r.Context(), nw, opts...)
+		if err != nil {
+			writeErr(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, simulateResponse{Model: "buffered", Buffered: &st})
+
+	default:
+		writeErr(w, r, badRequest("unknown model %q (wave or buffered)", req.Model))
+	}
+}
+
+// valueOr substitutes the default for an omitted (zero) request field.
+func valueOr(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,315 @@
+package minserve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestHandler() http.Handler {
+	return NewHandler(Config{})
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNetworksEndpoint(t *testing.T) {
+	rec := do(t, newTestHandler(), "GET", "/v1/networks", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Networks []struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+		} `json:"networks"`
+		Scenarios []struct {
+			Name string `json:"name"`
+		} `json:"scenarios"`
+		MaxStages int `json:"maxStages"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Networks) != 6 || len(resp.Scenarios) != 9 || resp.MaxStages != 10 {
+		t.Fatalf("unexpected inventory: %+v", resp)
+	}
+	for _, nw := range resp.Networks {
+		if nw.Description == "" {
+			t.Errorf("network %s has no description", nw.Name)
+		}
+	}
+	// Method enforcement.
+	if rec := do(t, newTestHandler(), "POST", "/v1/networks", "{}"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/networks: status %d", rec.Code)
+	}
+}
+
+// TestCheckGolden pins the exact JSON the service emits for a small
+// catalog check — the wire format is part of the API.
+func TestCheckGolden(t *testing.T) {
+	rec := do(t, newTestHandler(), "POST", "/v1/check", `{"network":"omega","stages":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	const golden = `{"report":{"network":"omega","stages":3,"equivalent":true,"banyan":true,` +
+		`"prefix":[{"i":1,"j":1,"components":4,"expected":4,"ok":true},` +
+		`{"i":1,"j":2,"components":2,"expected":2,"ok":true},` +
+		`{"i":1,"j":3,"components":1,"expected":1,"ok":true}],` +
+		`"suffix":[{"i":1,"j":3,"components":1,"expected":1,"ok":true},` +
+		`{"i":2,"j":3,"components":2,"expected":2,"ok":true},` +
+		`{"i":3,"j":3,"components":4,"expected":4,"ok":true}]}}` + "\n"
+	if got := rec.Body.String(); got != golden {
+		t.Errorf("golden mismatch:\ngot  %s\nwant %s", got, golden)
+	}
+}
+
+func TestCheckVariants(t *testing.T) {
+	h := newTestHandler()
+	// The counterexample: Banyan yes, equivalent no.
+	rec := do(t, h, "POST", "/v1/check", `{"network":"tail-cycle","stages":4}`)
+	var resp struct {
+		Report struct {
+			Equivalent bool `json:"equivalent"`
+			Banyan     bool `json:"banyan"`
+			Suffix     []struct {
+				OK bool `json:"ok"`
+			} `json:"suffix"`
+		} `json:"report"`
+		Iso *struct {
+			Maps [][]int `json:"maps"`
+		} `json:"iso"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Report.Equivalent || !resp.Report.Banyan {
+		t.Fatalf("tail-cycle report wrong: %s", rec.Body)
+	}
+	// Isomorphism on request.
+	rec = do(t, h, "POST", "/v1/check", `{"network":"flip","stages":4,"iso":true}`)
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Iso == nil || len(resp.Iso.Maps) != 4 || len(resp.Iso.Maps[0]) != 8 {
+		t.Fatalf("iso missing or misshapen: %s", rec.Body)
+	}
+	// Explicit index perms (a butterfly cascade).
+	rec = do(t, h, "POST", "/v1/check",
+		`{"stages":3,"indexPerms":[[2,1,0],[1,0,2]],"network":"cascade"}`)
+	if !strings.Contains(rec.Body.String(), `"equivalent":true`) {
+		t.Fatalf("cascade check: %s", rec.Body)
+	}
+	// Errors.
+	for _, bad := range []string{
+		`{"network":"nope","stages":4}`,
+		`{"stages":4}`,
+		`{"network":"omega","stages":99}`,
+		`{"network":"omega","stages":4,"bogus":1}`,
+		`{"network":"omega","stages":4,"linkPerms":[[0]],"indexPerms":[[0]]}`,
+		`not json`,
+	} {
+		rec := do(t, h, "POST", "/v1/check", bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", bad, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), `"error"`) {
+			t.Errorf("body %s: no error envelope: %s", bad, rec.Body)
+		}
+	}
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	h := newTestHandler()
+	rec := do(t, h, "POST", "/v1/route", `{"network":"omega","stages":4,"src":5,"dst":12}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Network string `json:"network"`
+		Path    struct {
+			Src  int `json:"src"`
+			Dst  int `json:"dst"`
+			Hops []struct {
+				Stage   int `json:"stage"`
+				Cell    int `json:"cell"`
+				OutPort int `json:"outPort"`
+			} `json:"hops"`
+		} `json:"path"`
+		TagPositions []int `json:"tagPositions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Path.Src != 5 || resp.Path.Dst != 12 || len(resp.Path.Hops) != 4 {
+		t.Fatalf("bad path: %s", rec.Body)
+	}
+	if len(resp.TagPositions) != 4 {
+		t.Fatalf("missing tag schedule: %s", rec.Body)
+	}
+	last := resp.Path.Hops[3]
+	if last.Cell*2+last.OutPort != 12 {
+		t.Fatalf("path does not land on dst: %s", rec.Body)
+	}
+	// Out-of-range terminals are a 400, not a panic.
+	rec = do(t, h, "POST", "/v1/route", `{"network":"omega","stages":4,"src":5,"dst":99}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oob terminal: status %d", rec.Code)
+	}
+	// tail-cycle routes via the fallback router, without tags.
+	rec = do(t, h, "POST", "/v1/route", `{"network":"tail-cycle","stages":4,"src":0,"dst":7}`)
+	if rec.Code != http.StatusOK || strings.Contains(rec.Body.String(), "tagPositions") {
+		t.Errorf("tail-cycle route: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestSimulateDeterminism: the same request produces a byte-identical
+// response body — the service's reproducibility contract.
+func TestSimulateDeterminism(t *testing.T) {
+	h := newTestHandler()
+	const body = `{"network":"omega","stages":5,"waves":80,"seed":7,"scenario":"transpose","load":0.8}`
+	first := do(t, h, "POST", "/v1/simulate", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", first.Code, first.Body)
+	}
+	for i := 0; i < 3; i++ {
+		again := do(t, h, "POST", "/v1/simulate", body)
+		if again.Body.String() != first.Body.String() {
+			t.Fatalf("response changed between identical requests:\n%s\nvs\n%s", first.Body, again.Body)
+		}
+	}
+	// Workers must not change the bytes either.
+	withWorkers := do(t, h, "POST", "/v1/simulate",
+		`{"network":"omega","stages":5,"waves":80,"seed":7,"scenario":"transpose","load":0.8,"workers":1}`)
+	if withWorkers.Body.String() != first.Body.String() {
+		t.Fatalf("worker count leaked into response:\n%s\nvs\n%s", first.Body, withWorkers.Body)
+	}
+	// Unseeded requests default to seed 1, still reproducible.
+	a := do(t, h, "POST", "/v1/simulate", `{"network":"flip","stages":4}`)
+	b := do(t, h, "POST", "/v1/simulate", `{"network":"flip","stages":4,"seed":1}`)
+	if a.Body.String() != b.Body.String() {
+		t.Fatal("unseeded request is not seed 1")
+	}
+}
+
+func TestSimulateBufferedEndpoint(t *testing.T) {
+	h := newTestHandler()
+	rec := do(t, h, "POST", "/v1/simulate",
+		`{"network":"baseline","stages":4,"model":"buffered","load":0.7,"queue":3,"lanes":2,`+
+			`"cycles":300,"warmup":30,"replications":2,"seed":3,"arbiter":"roundrobin","laneSelect":"bydst"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Model    string `json:"model"`
+		Buffered *struct {
+			Delivered      int       `json:"delivered"`
+			Replications   int       `json:"replications"`
+			StageOccupancy []float64 `json:"stageOccupancy"`
+			Latency        struct {
+				Mean float64 `json:"mean"`
+			} `json:"latency"`
+		} `json:"buffered"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "buffered" || resp.Buffered == nil || resp.Buffered.Delivered == 0 ||
+		resp.Buffered.Replications != 2 || len(resp.Buffered.StageOccupancy) != 4 {
+		t.Fatalf("buffered response wrong: %s", rec.Body)
+	}
+	// Limits and model mixups.
+	for _, bad := range []string{
+		`{"network":"omega","stages":4,"waves":1000000}`,
+		`{"network":"omega","stages":4,"model":"buffered","cycles":10000000}`,
+		`{"network":"omega","stages":4,"model":"buffered","waves":10}`,
+		`{"network":"omega","stages":4,"queue":4}`,
+		`{"network":"omega","stages":4,"model":"nope"}`,
+		`{"network":"omega","stages":4,"scenario":"nope"}`,
+	} {
+		rec := do(t, h, "POST", "/v1/simulate", bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+// TestSimulateCancellation: a client that disconnects mid-simulation
+// stops the engine within one trial instead of burning the full run.
+func TestSimulateCancellation(t *testing.T) {
+	h := newTestHandler()
+	ctx, cancel := context.WithCancel(context.Background())
+	body := `{"network":"omega","stages":10,"model":"buffered","replications":100000,` +
+		`"cycles":1999,"warmup":1,"load":1.0}`
+	req := httptest.NewRequest("POST", "/v1/simulate", strings.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	time.Sleep(100 * time.Millisecond) // let a few replications start
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after context cancellation")
+	}
+	wg.Wait()
+	// The handler must not have produced a 200 with a full result.
+	if rec.Code == http.StatusOK && strings.Contains(rec.Body.String(), `"replications":100000`) {
+		t.Fatalf("full result produced despite cancellation: %s", rec.Body)
+	}
+}
+
+// TestLimitsCoverDefaults: omitted buffered fields resolve to their
+// defaults BEFORE the operator's caps are checked, so a cap below the
+// default cannot be slipped past by leaving the field out, and
+// negative fields cannot wrap the sum.
+func TestLimitsCoverDefaults(t *testing.T) {
+	h := NewHandler(Config{MaxCycles: 1000})
+	for _, bad := range []string{
+		`{"network":"omega","stages":4,"model":"buffered"}`,                            // defaults 5000+500 > 1000
+		`{"network":"omega","stages":4,"model":"buffered","cycles":900,"warmup":-500}`, // negative field
+		`{"network":"omega","stages":4,"model":"buffered","cycles":800,"warmup":300}`,  // 1100 > 1000
+		`{"network":"omega","stages":4,"model":"buffered","load":1.5,"cycles":100}`,    // load out of range
+	} {
+		rec := do(t, h, "POST", "/v1/simulate", bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400: %s", bad, rec.Code, rec.Body)
+		}
+	}
+	ok := do(t, h, "POST", "/v1/simulate",
+		`{"network":"omega","stages":4,"model":"buffered","cycles":800,"warmup":100}`)
+	if ok.Code != http.StatusOK {
+		t.Errorf("in-cap request rejected: %s", ok.Body)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	h := NewHandler(Config{MaxBodyBytes: 64})
+	big := `{"network":"omega","stages":4,"linkPerms":[` + strings.Repeat("[0],", 100) + `[0]]}`
+	rec := do(t, h, "POST", "/v1/check", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", rec.Code)
+	}
+}
