@@ -8,17 +8,21 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"minequiv/internal/conn"
 	"minequiv/internal/engine"
 	"minequiv/internal/equiv"
 	"minequiv/internal/experiments"
+	"minequiv/internal/midigraph"
 	"minequiv/internal/pipid"
 	"minequiv/internal/randnet"
 	"minequiv/internal/route"
 	"minequiv/internal/sim"
 	"minequiv/internal/topology"
+	"minequiv/minserve"
 )
 
 // BenchmarkBuildBaseline (F1): constructing the Baseline MI-digraph.
@@ -73,6 +77,54 @@ func BenchmarkPSuffixCheck(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckAllWindows pins the analysis-core rewrite: the full
+// O(n²) window table at n=16 via the sweep Analyzer (one incremental
+// union-find sweep per left edge, reused scratch, 0 allocs/op — CI
+// gates on it) against the retained pre-PR per-window implementation.
+// The acceptance bar is a >= 5x sweep/naive ratio.
+func BenchmarkCheckAllWindows(b *testing.B) {
+	g := topology.Baseline(16)
+	b.Run("sweep", func(b *testing.B) {
+		a := midigraph.NewAnalyzer()
+		buf := a.CheckAllWindows(g, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = a.CheckAllWindows(g, buf)
+			if !midigraph.AllOK(buf) {
+				b.Fatal("baseline violated a window property")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !midigraph.AllOK(g.CheckAllWindowsNaive()) {
+				b.Fatal("baseline violated a window property")
+			}
+		}
+	})
+}
+
+// BenchmarkCheckFamilies: the two families the characterization theorem
+// actually consumes, as single sweeps on a reused Analyzer (0 allocs/op,
+// CI-gated).
+func BenchmarkCheckFamilies(b *testing.B) {
+	g := topology.Baseline(16)
+	a := midigraph.NewAnalyzer()
+	prefix := a.CheckPrefix(g, nil)
+	suffix := a.CheckSuffix(g, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prefix = a.CheckPrefix(g, prefix)
+		suffix = a.CheckSuffix(g, suffix)
+		if !midigraph.AllOK(prefix) || !midigraph.AllOK(suffix) {
+			b.Fatal("baseline violated a family property")
+		}
+	}
+}
+
 // BenchmarkIsoToBaseline (T4): explicit isomorphism construction.
 func BenchmarkIsoToBaseline(b *testing.B) {
 	g := topology.MustBuild(topology.NameOmega, 10).Graph
@@ -93,6 +145,58 @@ func BenchmarkPIPIDConnection(b *testing.B) {
 		c := conn.FromIndexPerm(theta)
 		if !c.IsIndependent() {
 			b.Fatal("not independent")
+		}
+	}
+}
+
+// BenchmarkEquivalentMatrix: the worker-parallel pairwise catalog sweep
+// (characterize once per graph, shard the pairs). Also the -race smoke
+// target CI runs so the parallel equivalence path stays race-clean.
+func BenchmarkEquivalentMatrix(b *testing.B) {
+	nets, err := topology.BuildAll(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphs := make([]*midigraph.Graph, len(nets))
+	for i, nw := range nets {
+		graphs[i] = nw.Graph
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := equiv.PairwiseEquivalent(graphs, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !m[0][len(m)-1] {
+					b.Fatal("catalog pair rejected")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeCheckCached: a warm /v1/check hit through the minserve
+// LRU — the full HTTP handler path minus the analysis it caches away.
+func BenchmarkServeCheckCached(b *testing.B) {
+	h := minserve.NewHandler(minserve.Config{})
+	const body = `{"network":"indirect-binary-cube","stages":10}`
+	request := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/check", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	cold := request() // populate the cache
+	if cold.Code != 200 {
+		b.Fatalf("cold check failed: %s", cold.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := request()
+		if rec.Code != 200 || rec.Header().Get("X-Cache") != "HIT" {
+			b.Fatal("expected a cache hit")
 		}
 	}
 }

@@ -1,13 +1,22 @@
 // Command benchjson converts `go test -bench -benchmem` output into a
-// machine-readable JSON artifact and optionally enforces an
-// allocation-regression gate: with -fail-on-allocs, any named
-// steady-state benchmark reporting allocs/op > 0 fails the run. CI uses
-// it to emit BENCH_<pr>.json and keep the hot loops allocation-free.
+// machine-readable JSON artifact and optionally enforces two regression
+// gates: with -fail-on-allocs, any named steady-state benchmark
+// reporting allocs/op > 0 fails the run; with -baseline, any benchmark
+// whose ns/op exceeds the committed baseline artifact's by more than
+// -max-regress percent fails it. CI uses both to emit BENCH_<pr>.json,
+// keep the hot loops allocation-free, and keep them from silently
+// getting slower than the checked-in trajectory.
 //
 // Usage:
 //
 //	go test -run XXX -bench . -benchmem . | benchjson -o BENCH.json \
-//	    -fail-on-allocs BenchmarkEngineWaveLoop,BenchmarkBufferedRunner
+//	    -fail-on-allocs BenchmarkEngineWaveLoop,BenchmarkBufferedRunner \
+//	    -baseline BENCH_4.json -max-regress 20 -normalize BenchmarkEngineWaveLoop
+//
+// -normalize names a stable reference benchmark: each comparison ratio
+// is divided by the reference's own current/baseline ratio first, so a
+// baseline recorded on different hardware gates relative profile shape
+// instead of absolute wall clock.
 package main
 
 import (
@@ -47,6 +56,9 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "-", "output path for the JSON artifact (- = stdout)")
 	gate := fs.String("fail-on-allocs", "", "comma-separated benchmark names that must report 0 allocs/op")
+	baseline := fs.String("baseline", "", "path to a prior benchjson artifact to compare ns/op against")
+	maxRegress := fs.Float64("max-regress", 20, "max allowed ns/op regression vs -baseline, in percent")
+	normalize := fs.String("normalize", "", "reference benchmark whose baseline ratio rescales the comparison (cross-machine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,7 +81,10 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		return err
 	}
-	return checkGate(benches, *gate)
+	if err := checkGate(benches, *gate); err != nil {
+		return err
+	}
+	return checkBaseline(benches, *baseline, *maxRegress, *normalize)
 }
 
 // parse extracts benchmark result lines from `go test -bench` output.
@@ -155,4 +170,76 @@ func checkGate(benches []Bench, gate string) error {
 		return fmt.Errorf("allocation gate failed:\n  %s", strings.Join(bad, "\n  "))
 	}
 	return nil
+}
+
+// checkBaseline fails if any benchmark present in both the current run
+// and the baseline artifact regressed by more than maxRegress percent
+// ns/op. Benchmarks only on one side are ignored (new benchmarks enter
+// the baseline on its next refresh; retired ones leave it).
+//
+// With normalize set to a benchmark name present on both sides, every
+// current/baseline ratio is divided by that reference benchmark's
+// ratio before the threshold applies. The reference is a stable,
+// untouched hot loop, so its ratio measures the machine-speed gap
+// between where the baseline was recorded and where the comparison
+// runs; dividing it out turns the gate into "did this benchmark get
+// slower relative to the profile?", which is what a committed baseline
+// can meaningfully assert across hardware.
+func checkBaseline(benches []Bench, path string, maxRegress float64, normalize string) error {
+	if path == "" {
+		return nil
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []Bench
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	byName := map[string]Bench{}
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	factor := 1.0
+	if normalize != "" {
+		prev, ok := byName[normalize]
+		if !ok || prev.NsPerOp <= 0 {
+			return fmt.Errorf("normalize benchmark %s not in baseline %s", normalize, path)
+		}
+		cur, ok := currentByName(benches, normalize)
+		if !ok || cur.NsPerOp <= 0 {
+			return fmt.Errorf("normalize benchmark %s not in current run", normalize)
+		}
+		factor = cur.NsPerOp / prev.NsPerOp
+	}
+	var bad []string
+	for _, b := range benches {
+		if b.Name == normalize {
+			continue // its normalized ratio is 1 by construction
+		}
+		prev, ok := byName[b.Name]
+		if !ok || prev.NsPerOp <= 0 {
+			continue
+		}
+		regress := 100 * ((b.NsPerOp/prev.NsPerOp)/factor - 1)
+		if regress > maxRegress {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%% normalized, max +%.1f%%)",
+				b.Name, b.NsPerOp, prev.NsPerOp, regress, maxRegress))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("ns/op regression gate failed against %s:\n  %s", path, strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// currentByName finds a benchmark of the current run by stripped name.
+func currentByName(benches []Bench, name string) (Bench, bool) {
+	for _, b := range benches {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Bench{}, false
 }

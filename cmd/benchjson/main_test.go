@@ -113,3 +113,117 @@ func TestRunWritesArtifact(t *testing.T) {
 		t.Fatal("empty input accepted")
 	}
 }
+
+func writeBaseline(t *testing.T, benches []Bench) string {
+	t.Helper()
+	blob, err := json.Marshal(benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BASE.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBaselineGate(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical baseline: clean.
+	if err := checkBaseline(benches, writeBaseline(t, benches), 20, ""); err != nil {
+		t.Fatalf("identical baseline failed: %v", err)
+	}
+	// Current run 25% slower than baseline: fails at 20%, passes at 30%.
+	slow := writeBaseline(t, []Bench{{Name: "BenchmarkEngineWaveLoop", NsPerOp: 79895 / 1.25}})
+	if err := checkBaseline(benches, slow, 20, ""); err == nil ||
+		!strings.Contains(err.Error(), "BenchmarkEngineWaveLoop") {
+		t.Fatalf("25%% regression passed the 20%% gate: %v", err)
+	}
+	if err := checkBaseline(benches, slow, 30, ""); err != nil {
+		t.Fatalf("25%% regression failed the 30%% gate: %v", err)
+	}
+	// Benchmarks only in one file are ignored; improvements always pass.
+	extra := writeBaseline(t, []Bench{
+		{Name: "BenchmarkRetired", NsPerOp: 1},
+		{Name: "BenchmarkBufferedRunner", NsPerOp: 99999999},
+	})
+	if err := checkBaseline(benches, extra, 20, ""); err != nil {
+		t.Fatalf("disjoint/improved baseline failed: %v", err)
+	}
+	// No baseline flag: no-op.
+	if err := checkBaseline(benches, "", 20, ""); err != nil {
+		t.Fatalf("empty baseline path failed: %v", err)
+	}
+	// Missing or malformed baseline files are loud errors.
+	if err := checkBaseline(benches, filepath.Join(t.TempDir(), "nope.json"), 20, ""); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkBaseline(benches, bad, 20, ""); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}
+
+func TestRunBaselineFlag(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := writeBaseline(t, []Bench{{Name: "BenchmarkBufferedRunner", NsPerOp: 1}})
+	var stdout bytes.Buffer
+	err = run([]string{"-o", filepath.Join(t.TempDir(), "B.json"), "-baseline", base},
+		strings.NewReader(sample), &stdout)
+	if err == nil || !strings.Contains(err.Error(), "regression gate failed") {
+		t.Fatalf("regression not surfaced through run: %v", err)
+	}
+	// The artifact is still written before the gate fires.
+	ok := writeBaseline(t, benches)
+	if err := run([]string{"-o", filepath.Join(t.TempDir(), "B.json"), "-baseline", ok, "-max-regress", "20"},
+		strings.NewReader(sample), &stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineNormalize(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A baseline recorded on a machine exactly 2x faster than the
+	// current one: every benchmark doubled uniformly. Raw comparison
+	// fails; normalized by the reference loop it is clean.
+	half := writeBaseline(t, []Bench{
+		{Name: "BenchmarkEngineWaveLoop", NsPerOp: 79895 / 2},
+		{Name: "BenchmarkBufferedRunner", NsPerOp: 5175954 / 2},
+	})
+	if err := checkBaseline(benches, half, 20, ""); err == nil {
+		t.Fatal("uniform 2x slowdown passed the raw gate")
+	}
+	if err := checkBaseline(benches, half, 20, "BenchmarkEngineWaveLoop"); err != nil {
+		t.Fatalf("uniform slowdown failed the normalized gate: %v", err)
+	}
+	// A genuine relative regression still fails: the runner got 2x
+	// slower while the reference stayed on the 2x-faster scale.
+	skew := writeBaseline(t, []Bench{
+		{Name: "BenchmarkEngineWaveLoop", NsPerOp: 79895 / 2},
+		{Name: "BenchmarkBufferedRunner", NsPerOp: 5175954 / 4},
+	})
+	err = checkBaseline(benches, skew, 20, "BenchmarkEngineWaveLoop")
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkBufferedRunner") {
+		t.Fatalf("relative regression passed the normalized gate: %v", err)
+	}
+	// The reference must exist on both sides.
+	if err := checkBaseline(benches, half, 20, "BenchmarkMissing"); err == nil {
+		t.Fatal("missing normalize reference accepted")
+	}
+	onlyOther := writeBaseline(t, []Bench{{Name: "BenchmarkBufferedRunner", NsPerOp: 1}})
+	if err := checkBaseline(benches, onlyOther, 20, "BenchmarkEngineWaveLoop"); err == nil {
+		t.Fatal("normalize reference absent from baseline accepted")
+	}
+}

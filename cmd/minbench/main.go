@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	minbench            # run everything
-//	minbench list       # list experiment IDs
-//	minbench T1 F5 ...  # run selected experiments
+//	minbench                 # run everything
+//	minbench list            # list experiment IDs
+//	minbench T1 F5 ...       # run selected experiments
+//	minbench -workers 4 T1   # bound the parallel experiments' goroutines
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -24,6 +26,14 @@ func main() {
 }
 
 func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("minbench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	workers := fs.Int("workers", 0, "goroutines for parallelized experiments (<= 0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	experiments.Workers = *workers
+	args = fs.Args()
 	if len(args) == 1 && args[0] == "list" {
 		for _, e := range experiments.All() {
 			fmt.Fprintf(w, "%-5s %s\n", e.ID, e.Title)

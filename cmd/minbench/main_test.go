@@ -44,3 +44,19 @@ func TestUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+func TestWorkersFlagDeterministicT1(t *testing.T) {
+	var one, four bytes.Buffer
+	if err := run([]string{"-workers", "1", "T1"}, &one); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-workers", "4", "T1"}, &four); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != four.String() {
+		t.Error("T1 output differs across worker counts")
+	}
+	if !strings.Contains(one.String(), "pairwise equivalence matrix") {
+		t.Errorf("T1 output wrong:\n%s", one.String())
+	}
+}

@@ -83,6 +83,34 @@ func main() {
 	postJSON(base+"/v1/simulate", req, &sim)
 	fmt.Printf("omega n=6 uniform, 400 waves (seed 42): throughput %.4f ± %.4f\n",
 		sim.Wave.Throughput.Mean, sim.Wave.Throughput.CI95)
+	fmt.Println()
+
+	// 5. Check responses are cached by topology: repeating a request is
+	// served from the LRU (byte-identical to the cold run, X-Cache: HIT)
+	// and /v1/stats exposes the counters.
+	checkBody := `{"network":"baseline","stages":5}`
+	cold, err := http.Post(base+"/v1/check", "application/json", strings.NewReader(checkBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, cold.Body)
+	cold.Body.Close()
+	warm, err := http.Post(base+"/v1/check", "application/json", strings.NewReader(checkBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	var stats struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	getJSON(base+"/v1/stats", &stats)
+	fmt.Printf("check twice: X-Cache %s then %s; cache counters hits=%d misses=%d\n",
+		cold.Header.Get("X-Cache"), warm.Header.Get("X-Cache"),
+		stats.Cache.Hits, stats.Cache.Misses)
 }
 
 func getJSON(url string, v any) {

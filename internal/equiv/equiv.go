@@ -83,9 +83,15 @@ func AreEquivalent(g, h *midigraph.Graph) (bool, error) {
 		return false, nil
 	}
 	if g.Stages() > OracleMaxStages {
-		return false, fmt.Errorf("equiv: neither graph is baseline-equivalent and n=%d exceeds the oracle bound %d",
-			g.Stages(), OracleMaxStages)
+		return false, oracleBoundError(g.Stages())
 	}
 	_, found := FindIsomorphism(g, h)
 	return found, nil
+}
+
+// oracleBoundError is the shared failure for pairs the theory cannot
+// decide and the exact oracle cannot reach.
+func oracleBoundError(n int) error {
+	return fmt.Errorf("equiv: neither graph is baseline-equivalent and n=%d exceeds the oracle bound %d",
+		n, OracleMaxStages)
 }

@@ -80,11 +80,10 @@ func hierarchicalLabels(g *midigraph.Graph) ([][]uint64, error) {
 
 	// Suffix hierarchy: S_b = window (b .. n-1). Splitting S_b into
 	// S_{b+1} assigns bit m-1-b to every node of stages b+1..n-1.
-	prevIDs, _ := g.Components(0, n-1) // S_0
+	prevIDs, prevCount := g.Components(0, n-1) // S_0
 	for b := 0; b < n-1; b++ {
-		curIDs, _ := g.Components(b+1, n-1) // S_{b+1}
-		// side[parentComp][childComp] in {0,1}, at most two children.
-		side, err := splitSides(prevIDs[1:], curIDs)
+		curIDs, curCount := g.Components(b+1, n-1) // S_{b+1}
+		split, err := splitSides(prevIDs[1:], curIDs, prevCount)
 		if err != nil {
 			return nil, fmt.Errorf("suffix window %d: %w", b, err)
 		}
@@ -92,75 +91,76 @@ func hierarchicalLabels(g *midigraph.Graph) ([][]uint64, error) {
 		for t := range curIDs { // t indexes stages b+1..n-1
 			s := b + 1 + t
 			for x := 0; x < h; x++ {
-				parent := prevIDs[t+1][x]
-				child := curIDs[t][x]
-				labels[s][x] |= uint64(side[pairKey{parent, child}]) << bit
+				if curIDs[t][x] == split.one[prevIDs[t+1][x]] {
+					labels[s][x] |= 1 << bit
+				}
 			}
 		}
-		prevIDs = curIDs
+		prevIDs, prevCount = curIDs, curCount
 	}
 
 	// Prefix hierarchy: W_e = window (0 .. e). Splitting W_e into
 	// W_{e-1} assigns bit e-1-s to every node of stage s <= e-1.
-	prevIDs, _ = g.Components(0, n-1) // W_{n-1}
+	prevIDs, prevCount = g.Components(0, n-1) // W_{n-1}
 	for e := n - 1; e >= 1; e-- {
-		curIDs, _ := g.Components(0, e-1) // W_{e-1}
-		side, err := splitSides(prevIDs[:e], curIDs)
+		curIDs, curCount := g.Components(0, e-1) // W_{e-1}
+		split, err := splitSides(prevIDs[:e], curIDs, prevCount)
 		if err != nil {
 			return nil, fmt.Errorf("prefix window %d: %w", e, err)
 		}
 		for s := 0; s <= e-1; s++ {
 			bit := uint(e - 1 - s)
 			for x := 0; x < h; x++ {
-				parent := prevIDs[s][x]
-				child := curIDs[s][x]
-				labels[s][x] |= uint64(side[pairKey{parent, child}]) << bit
+				if curIDs[s][x] == split.one[prevIDs[s][x]] {
+					labels[s][x] |= 1 << bit
+				}
 			}
 		}
-		prevIDs = curIDs
+		prevIDs, prevCount = curIDs, curCount
 	}
 	return labels, nil
 }
 
-type pairKey struct{ parent, child int32 }
+// splitTable records, per parent component id, its (at most two)
+// distinct child component ids in first-seen scan order: side 0 is
+// zero[p], side 1 is one[p], -1 means unseen. Flat dense tables indexed
+// by the parent id replace the old map[pairKey]int — the ids are dense
+// by construction, so the table is direct-addressed.
+type splitTable struct{ zero, one []int32 }
 
-// splitSides maps each (parent component, child component) incidence to
-// a side bit 0 or 1, requiring every parent component to split into
-// exactly two child components. parentIDs and childIDs cover the same
-// stages in the same order.
-func splitSides(parentIDs, childIDs [][]int32) (map[pairKey]int, error) {
+// splitSides computes the split table, requiring every parent component
+// that meets the shared stages to split into exactly two child
+// components. parentIDs and childIDs cover the same stages in the same
+// order; parents is the parent window's component count (the table
+// bound).
+func splitSides(parentIDs, childIDs [][]int32, parents int) (splitTable, error) {
 	if len(parentIDs) != len(childIDs) {
-		return nil, fmt.Errorf("equiv: stage slices differ (%d vs %d)", len(parentIDs), len(childIDs))
+		return splitTable{}, fmt.Errorf("equiv: stage slices differ (%d vs %d)", len(parentIDs), len(childIDs))
 	}
-	children := map[int32][]int32{} // parent -> distinct child ids in first-seen order
+	st := splitTable{zero: make([]int32, parents), one: make([]int32, parents)}
+	for p := range st.zero {
+		st.zero[p], st.one[p] = -1, -1
+	}
 	for t := range parentIDs {
 		for x := range parentIDs[t] {
 			p, c := parentIDs[t][x], childIDs[t][x]
-			list := children[p]
-			known := false
-			for _, cc := range list {
-				if cc == c {
-					known = true
-					break
-				}
-			}
-			if !known {
-				if len(list) == 2 {
-					return nil, fmt.Errorf("equiv: component %d splits into more than two parts", p)
-				}
-				children[p] = append(list, c)
+			switch {
+			case st.zero[p] < 0:
+				st.zero[p] = c
+			case st.zero[p] == c || st.one[p] == c:
+			case st.one[p] < 0:
+				st.one[p] = c
+			default:
+				return splitTable{}, fmt.Errorf("equiv: component %d splits into more than two parts", p)
 			}
 		}
 	}
-	side := make(map[pairKey]int)
-	for p, list := range children {
-		if len(list) != 2 {
-			return nil, fmt.Errorf("equiv: component %d splits into %d parts, want 2", p, len(list))
+	for p := range st.zero {
+		if st.zero[p] >= 0 && st.one[p] < 0 {
+			return splitTable{}, fmt.Errorf("equiv: component %d splits into 1 parts, want 2", p)
 		}
-		side[pairKey{p, list[0]}] = 0
-		side[pairKey{p, list[1]}] = 1
 	}
-	return side, nil
+	return st, nil
 }
 
 // labelsToIso validates that each stage's labels are a bijection and

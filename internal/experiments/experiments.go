@@ -11,6 +11,13 @@ import (
 	"sort"
 )
 
+// Workers is the goroutine budget the parallelized experiments (the T1
+// catalog matrix today) hand to the equiv sharding helpers; <= 0 means
+// GOMAXPROCS. Printed tables are identical for any value — parallel
+// results land in per-pair storage and are reduced in order. cmd/minbench
+// exposes it as -workers.
+var Workers int
+
 // Experiment couples an ID with its runner.
 type Experiment struct {
 	ID    string

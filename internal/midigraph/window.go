@@ -4,7 +4,10 @@ import (
 	"fmt"
 )
 
-// unionFind is a plain weighted quick-union with path halving.
+// unionFind is a plain weighted quick-union with path halving. It backs
+// only the *naive* reference implementations below; the production path
+// is the sweep-based Analyzer (analyzer.go), which owns reusable
+// scratch instead of rebuilding these slices per window.
 type unionFind struct {
 	parent []int32
 	size   []int32
@@ -48,44 +51,31 @@ func (uf *unionFind) union(a, b int32) {
 //
 // It returns one slice per window stage mapping each node label to a
 // component id in [0, count), ids dense and assigned in first-seen order
-// (scanning stages then labels), plus the component count.
+// (scanning stages then labels), plus the component count. The returned
+// slices are freshly allocated; the union-find scratch behind them is
+// pooled (see Analyzer.Components for full buffer reuse).
 func (g *Graph) Components(lo, hi int) (ids [][]int32, count int) {
-	if lo < 0 || hi >= g.n || lo > hi {
-		panic(fmt.Sprintf("midigraph: window [%d,%d] invalid for %d stages", lo, hi, g.n))
-	}
-	width := hi - lo + 1
-	uf := newUnionFind(width * g.h)
-	// Node (stage lo+t, x) is uf element t*h + x.
-	for s := lo; s < hi; s++ {
-		t := s - lo
-		for x := 0; x < g.h; x++ {
-			f, c := g.Children(s, uint32(x))
-			uf.union(int32(t*g.h+x), int32((t+1)*g.h+int(f)))
-			uf.union(int32(t*g.h+x), int32((t+1)*g.h+int(c)))
-		}
-	}
-	ids = make([][]int32, width)
-	rootID := make(map[int32]int32, uf.count)
-	next := int32(0)
-	for t := 0; t < width; t++ {
-		ids[t] = make([]int32, g.h)
-		for x := 0; x < g.h; x++ {
-			r := uf.find(int32(t*g.h + x))
-			id, ok := rootID[r]
-			if !ok {
-				id = next
-				rootID[r] = id
-				next++
-			}
-			ids[t][x] = id
-		}
-	}
-	return ids, uf.count
+	a := analyzerPool.Get().(*Analyzer)
+	ids, count = a.Components(g, lo, hi, nil)
+	analyzerPool.Put(a)
+	return ids, count
 }
 
 // ComponentCount returns only the number of connected components of the
-// 0-based window (G)_{lo..hi}, skipping the id assignment.
+// 0-based window (G)_{lo..hi}, skipping the id assignment. Scratch is
+// pooled; use an explicit Analyzer for allocation-free loops.
 func (g *Graph) ComponentCount(lo, hi int) int {
+	a := analyzerPool.Get().(*Analyzer)
+	count := a.ComponentCount(g, lo, hi)
+	analyzerPool.Put(a)
+	return count
+}
+
+// ComponentCountNaive is the pre-sweep reference implementation: a fresh
+// union-find rebuilt for this one window. It is retained as ground truth
+// for the sweep property tests and the speedup benchmarks; production
+// callers go through ComponentCount/Analyzer.
+func (g *Graph) ComponentCountNaive(lo, hi int) int {
 	if lo < 0 || hi >= g.n || lo > hi {
 		panic(fmt.Sprintf("midigraph: window [%d,%d] invalid for %d stages", lo, hi, g.n))
 	}
@@ -100,6 +90,22 @@ func (g *Graph) ComponentCount(lo, hi int) int {
 		}
 	}
 	return uf.count
+}
+
+// CheckAllWindowsNaive is the pre-sweep reference for the full window
+// table, kept alongside ComponentCountNaive for tests and benchmarks.
+func (g *Graph) CheckAllWindowsNaive() []WindowResult {
+	var out []WindowResult
+	for i := 1; i <= g.n; i++ {
+		for j := i; j <= g.n; j++ {
+			out = append(out, WindowResult{
+				I: i, J: j,
+				Got:      g.ComponentCountNaive(i-1, j-1),
+				Expected: g.ExpectedComponents(i, j),
+			})
+		}
+	}
+	return out
 }
 
 // ExpectedComponents returns the component count the P(i,j) property
@@ -140,47 +146,33 @@ func (w WindowResult) String() string {
 	return fmt.Sprintf("P(%d,%d): components=%d expected=%d %s", w.I, w.J, w.Got, w.Expected, status)
 }
 
-// CheckPrefix evaluates the P(1,*) family: P(1,j) for every j in [1,n].
-// It returns per-window results; the property holds iff all are OK.
+// CheckPrefix evaluates the P(1,*) family: P(1,j) for every j in [1,n],
+// as one left-to-right sweep (O(n·h·α) for the whole family). It returns
+// per-window results; the property holds iff all are OK.
 func (g *Graph) CheckPrefix() []WindowResult {
-	out := make([]WindowResult, 0, g.n)
-	for j := 1; j <= g.n; j++ {
-		out = append(out, WindowResult{
-			I: 1, J: j,
-			Got:      g.ComponentCount(0, j-1),
-			Expected: g.ExpectedComponents(1, j),
-		})
-	}
+	a := analyzerPool.Get().(*Analyzer)
+	out := a.CheckPrefix(g, make([]WindowResult, 0, g.n))
+	analyzerPool.Put(a)
 	return out
 }
 
-// CheckSuffix evaluates the P(*,n) family: P(i,n) for every i in [1,n].
+// CheckSuffix evaluates the P(*,n) family: P(i,n) for every i in [1,n],
+// as one right-to-left sweep.
 func (g *Graph) CheckSuffix() []WindowResult {
-	out := make([]WindowResult, 0, g.n)
-	for i := 1; i <= g.n; i++ {
-		out = append(out, WindowResult{
-			I: i, J: g.n,
-			Got:      g.ComponentCount(i-1, g.n-1),
-			Expected: g.ExpectedComponents(i, g.n),
-		})
-	}
+	a := analyzerPool.Get().(*Analyzer)
+	out := a.CheckSuffix(g, make([]WindowResult, 0, g.n))
+	analyzerPool.Put(a)
 	return out
 }
 
-// CheckAllWindows evaluates P(i,j) for every 1 <= i <= j <= n. The
-// characterization theorem only needs the prefix and suffix families; the
-// full table is used by experiments and by the counterexample analysis.
+// CheckAllWindows evaluates P(i,j) for every 1 <= i <= j <= n, one sweep
+// per left edge (O(n²·h·α) total). The characterization theorem only
+// needs the prefix and suffix families; the full table is used by
+// experiments and by the counterexample analysis.
 func (g *Graph) CheckAllWindows() []WindowResult {
-	var out []WindowResult
-	for i := 1; i <= g.n; i++ {
-		for j := i; j <= g.n; j++ {
-			out = append(out, WindowResult{
-				I: i, J: j,
-				Got:      g.ComponentCount(i-1, j-1),
-				Expected: g.ExpectedComponents(i, j),
-			})
-		}
-	}
+	a := analyzerPool.Get().(*Analyzer)
+	out := a.CheckAllWindows(g, make([]WindowResult, 0, g.n*(g.n+1)/2))
+	analyzerPool.Put(a)
 	return out
 }
 

@@ -181,6 +181,20 @@ func Equivalent(a, b *Network) (bool, error) {
 	return equiv.AreEquivalent(a.graph(), b.graph())
 }
 
+// EquivalentMatrix computes the full pairwise equivalence matrix of the
+// given networks, sharding the per-network characterizations and the
+// per-pair decisions across workers (<= 0 means GOMAXPROCS). Each
+// network is characterized exactly once — not once per pair — and the
+// result is deterministic for any worker count. The semantics per pair
+// are those of Equivalent; the diagonal is true by reflexivity.
+func EquivalentMatrix(nets []*Network, workers int) ([][]bool, error) {
+	graphs := make([]*midigraph.Graph, len(nets))
+	for i, nw := range nets {
+		graphs[i] = nw.graph()
+	}
+	return equiv.PairwiseEquivalent(graphs, workers)
+}
+
 // IndependentStages reports whether every stage of a PIPID-defined
 // network induces an independent connection — the §4 theorem's route
 // from PIPID structure to baseline-equivalence. It errors on

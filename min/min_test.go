@@ -425,3 +425,62 @@ func TestDraw(t *testing.T) {
 		t.Error("tuple rendering missing")
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	omega := MustBuild(Omega, 5)
+	if omega.Fingerprint() != MustBuild(Omega, 5).Fingerprint() {
+		t.Error("identical constructions hash differently")
+	}
+	// Same wiring from a different construction path must collide.
+	viaPerms, err := FromLinkPerms("custom", 5, omega.LinkPerms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaPerms.Fingerprint() != omega.Fingerprint() {
+		t.Error("identical wiring from link perms hashes differently")
+	}
+	// Different wiring (even isomorphic wiring) must not, in practice.
+	seen := map[uint64]string{omega.Fingerprint(): Omega}
+	for _, name := range []string{Baseline, ReverseBaseline, Flip, IndirectCube, ModifiedDM} {
+		fp := MustBuild(name, 5).Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s and %s share fingerprint %x", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	if MustBuild(Omega, 4).Fingerprint() == omega.Fingerprint() {
+		t.Error("different sizes share a fingerprint")
+	}
+}
+
+func TestEquivalentMatrix(t *testing.T) {
+	var nets []*Network
+	for _, name := range CatalogNames() {
+		nets = append(nets, MustBuild(name, 5))
+	}
+	tail, err := TailCycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets = append(nets, tail)
+	for _, workers := range []int{1, 4, 0} {
+		got, err := EquivalentMatrix(nets, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range nets {
+			for j := range nets {
+				pairWant, err := Equivalent(nets[i], nets[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == j {
+					pairWant = true
+				}
+				if got[i][j] != pairWant {
+					t.Errorf("workers=%d: matrix[%d][%d]=%v, want %v", workers, i, j, got[i][j], pairWant)
+				}
+			}
+		}
+	}
+}

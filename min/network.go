@@ -219,6 +219,36 @@ func (nw *Network) IndexPerms() ([][]int, bool) {
 // graph exposes the MI-digraph to the façade's own files.
 func (nw *Network) graph() *midigraph.Graph { return nw.topo.Graph }
 
+// Fingerprint returns the network's canonical arc hash: a 64-bit FNV-1a
+// digest of the stage count and every stage's ordered child arrays.
+// Two networks have the same fingerprint exactly when they have
+// identical wiring (same arcs, same (f,g) slot order), regardless of
+// how they were constructed — catalog name, link permutations, index
+// permutations, or a Builder all hash the arcs they produce. It is a
+// structural identity, not an isomorphism invariant; minserve keys its
+// response cache on it.
+func (nw *Network) Fingerprint() uint64 {
+	g := nw.topo.Graph
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	hash := uint64(offset64)
+	mix := func(v uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			hash ^= (v >> uint(shift)) & 0xff
+			hash *= prime64
+		}
+	}
+	mix(uint64(g.Stages()))
+	for s := 0; s < g.Stages()-1; s++ {
+		for _, c := range g.ChildSlice(s) {
+			mix(uint64(c))
+		}
+	}
+	return hash
+}
+
 // compiledFabric lazily compiles the simulation fabric (routing tables)
 // once per Network.
 func (nw *Network) compiledFabric() (*sim.Fabric, error) {

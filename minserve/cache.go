@@ -1,0 +1,145 @@
+package minserve
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// CacheStats is the hit/miss accounting of the response cache, exposed
+// at GET /v1/stats.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// responseCache is a bounded LRU over fully-rendered 200-response
+// bodies. Keys are derived from the network's canonical arc hash
+// (min.Network.Fingerprint) plus the request parameters that shape the
+// body, so two requests that build the same wiring — by catalog name or
+// by explicit permutations — share an entry, and a hit replays the
+// exact bytes a cold run would have produced.
+type responseCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResponseCache returns a cache bounded to capacity entries, or nil
+// (caching disabled) when capacity < 1.
+func newResponseCache(capacity int) *responseCache {
+	if capacity < 1 {
+		return nil
+	}
+	return &responseCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached body for key and records a hit or miss. The
+// returned slice must not be mutated.
+func (c *responseCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting from the least-recently-used end
+// once the bound is reached.
+func (c *responseCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats snapshots the counters.
+func (c *responseCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.capacity}
+}
+
+// encodeJSON renders v exactly as writeJSON does (json.Encoder with its
+// trailing newline), so cached bytes are indistinguishable from a cold
+// encode of the same value.
+func encodeJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeJSONBytes writes a pre-rendered JSON body. xCache stamps the
+// X-Cache header (HIT or MISS) on cacheable endpoints; headers do not
+// participate in the byte-identity contract, only bodies do.
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte, xCache string) {
+	w.Header().Set("Content-Type", "application/json")
+	if xCache != "" {
+		w.Header().Set("X-Cache", xCache)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// serveCached answers from the cache when possible; otherwise it runs
+// compute, caches the rendered body, and serves it. Only successful
+// responses are cached — errors stay on the uncached writeErr path.
+func (s *server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func() (any, error)) {
+	if s.cache != nil {
+		if body, ok := s.cache.get(key); ok {
+			writeJSONBytes(w, http.StatusOK, body, "HIT")
+			return
+		}
+	}
+	v, err := compute()
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	body, err := encodeJSON(v)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	if s.cache != nil {
+		s.cache.put(key, body)
+		writeJSONBytes(w, http.StatusOK, body, "MISS")
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, body, "")
+}

@@ -7,6 +7,7 @@
 // Endpoints (all JSON):
 //
 //	GET  /v1/networks   the catalog, the scenario registry and the limits
+//	GET  /v1/stats      response-cache hit/miss counters
 //	POST /v1/check      characterization report (+ optional isomorphism)
 //	POST /v1/route      one routed path, with the tag schedule when PIPID
 //	POST /v1/simulate   wave or buffered statistics, seeded and reproducible
@@ -15,6 +16,14 @@
 // a byte-identical response body. Request contexts are threaded through
 // to the simulation engine, so a client that disconnects mid-simulation
 // stops the run within one trial.
+//
+// /v1/check and /v1/route are served through a bounded LRU response
+// cache keyed by the network's canonical arc hash plus the request
+// parameters, so repeated checks of the same topology skip the analysis
+// entirely; a hit replays the exact bytes of the cold response (the
+// X-Cache header says which happened) and GET /v1/stats exposes the
+// counters. Config.CacheEntries bounds it; a negative value disables
+// caching.
 package minserve
 
 import (
@@ -41,6 +50,12 @@ type Config struct {
 	MaxCycles int
 	// MaxWorkers caps the per-request worker count. Default GOMAXPROCS.
 	MaxWorkers int
+	// CacheEntries bounds the LRU response cache serving repeated
+	// /v1/check and /v1/route requests on the same topology (keyed by
+	// the network's canonical arc hash plus request parameters; hits
+	// are byte-identical to a cold run). Default 256; negative
+	// disables caching.
+	CacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,19 +77,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
 	return c
 }
 
 type server struct {
-	cfg Config
+	cfg   Config
+	cache *responseCache // nil when CacheEntries < 0
 }
 
 // NewHandler returns the service's HTTP handler. Zero-value Config
 // fields take the documented defaults.
 func NewHandler(cfg Config) http.Handler {
-	s := &server{cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	s := &server{cfg: cfg, cache: newResponseCache(cfg.CacheEntries)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("POST /v1/route", s.handleRoute)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -224,16 +245,31 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, err)
 		return
 	}
-	resp := checkResponse{Report: min.Check(nw)}
-	if req.Iso && resp.Report.Equivalent {
-		iso, err := min.Iso(nw)
-		if err != nil {
-			writeErr(w, r, err)
-			return
+	// Building the network is cheap; the characterization (and the
+	// isomorphism construction) is what the cache skips. The key folds
+	// in everything the body depends on: the wiring (canonical arc
+	// hash), the reported name/size, and the iso flag.
+	key := fmt.Sprintf("check|%016x|%s|%d|iso=%t", nw.Fingerprint(), nw.Name(), nw.Stages(), req.Iso)
+	s.serveCached(w, r, key, func() (any, error) {
+		resp := checkResponse{Report: min.Check(nw)}
+		if req.Iso && resp.Report.Equivalent {
+			iso, err := min.Iso(nw)
+			if err != nil {
+				return nil, err
+			}
+			resp.Iso = &iso
 		}
-		resp.Iso = &iso
-	}
-	writeJSON(w, http.StatusOK, resp)
+		return resp, nil
+	})
+}
+
+// statsResponse is the GET /v1/stats body.
+type statsResponse struct {
+	Cache CacheStats `json:"cache"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{Cache: s.cache.stats()})
 }
 
 type routeRequest struct {
@@ -266,16 +302,24 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			nw.Terminals(), req.Src, req.Dst))
 		return
 	}
-	path, err := min.Route(nw, req.Src, req.Dst)
-	if err != nil {
-		writeErr(w, r, err)
-		return
-	}
-	resp := routeResponse{Network: nw.Name(), Path: path}
-	if tags, err := min.TagPositions(nw); err == nil {
-		resp.TagPositions = tags
-	}
-	writeJSON(w, http.StatusOK, resp)
+	// The body also carries the PIPID tag schedule, which depends on the
+	// construction's index permutations, not only on the arcs — fold
+	// them into the key so a network built a way that skips PIPID
+	// detection can never replay a PIPID response or vice versa.
+	thetas, _ := nw.IndexPerms()
+	key := fmt.Sprintf("route|%016x|%s|%d|%v|%d>%d",
+		nw.Fingerprint(), nw.Name(), nw.Stages(), thetas, req.Src, req.Dst)
+	s.serveCached(w, r, key, func() (any, error) {
+		path, err := min.Route(nw, req.Src, req.Dst)
+		if err != nil {
+			return nil, err
+		}
+		resp := routeResponse{Network: nw.Name(), Path: path}
+		if tags, err := min.TagPositions(nw); err == nil {
+			resp.TagPositions = tags
+		}
+		return resp, nil
+	})
 }
 
 // simulateRequest runs the wave model (default) or the buffered model.
