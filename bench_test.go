@@ -322,6 +322,69 @@ func BenchmarkBufferedRunner(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricKernel pins the unified fabric kernel both runners
+// drive: a full fabric's worth of crossbar decisions (every stage, every
+// cell, a rotating destination) plus the inter-stage forward, on the
+// intact fabric and under an active fault state. Both paths must be
+// 0 allocs/op; CI gates on it.
+func BenchmarkFabricKernel(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameOmega, 10).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, fs *sim.FaultState) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		sink := uint64(0)
+		for i := 0; i < b.N; i++ {
+			sink += f.SteerSweep(fs, i)
+		}
+		if sink == 0 {
+			b.Fatal("kernel steered nothing")
+		}
+	}
+	b.Run("intact", func(b *testing.B) { run(b, nil) })
+	b.Run("faulted", func(b *testing.B) {
+		fs := f.NewFaultState()
+		err := fs.Sample(sim.FaultPlan{SwitchDeadRate: 0.02, SwitchStuckRate: 0.02, LinkDownRate: 0.01},
+			engine.NewFaultRand(7, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, fs)
+	})
+}
+
+// BenchmarkFaultedWaveLoop pins the degraded hot path: the steady-state
+// wave loop with a per-wave fault resample (exactly what the engine
+// does per trial, minus the per-trial rng derivation). Must stay
+// 0 allocs/op; CI gates on it.
+func BenchmarkFaultedWaveLoop(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameOmega, 10).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := f.NewWaveRunner()
+	fs := f.NewFaultState()
+	if err := runner.SetFaults(fs); err != nil {
+		b.Fatal(err)
+	}
+	plan := sim.FaultPlan{SwitchDeadRate: 0.02, LinkDownRate: 0.01}
+	trafficRng := engine.NewRand(1, 0)
+	faultRng := engine.NewFaultRand(1, 0)
+	pattern := sim.Uniform()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.Sample(plan, faultRng); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runner.RunTraffic(pattern, trafficRng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimBuffered (T7): buffered queueing simulation.
 func BenchmarkSimBuffered(b *testing.B) {
 	f, err := sim.NewFabric(topology.MustBuild(topology.NameBaseline, 6).LinkPerms)

@@ -46,6 +46,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	maxStages := fs.Int("max-stages", 10, "largest accepted network (terminals = 2^stages)")
 	maxTrials := fs.Int("max-trials", 100000, "largest accepted waves/replications count")
 	maxCycles := fs.Int("max-cycles", 200000, "largest accepted cycles+warmup per replication")
+	maxFaults := fs.Int("max-faults", 256, "largest accepted pinned-fault list per request")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			MaxStages:    *maxStages,
 			MaxTrials:    *maxTrials,
 			MaxCycles:    *maxCycles,
+			MaxFaults:    *maxFaults,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		// No WriteTimeout: long simulations are legitimate; the request

@@ -8,8 +8,11 @@
 //	minsim -net flip  -n 6 -model buffered -load 0.7 -queue 4 -lanes 2 -cycles 5000
 //	minsim -net flip  -n 6 -model buffered -pattern transpose -load 0.5
 //	minsim -counter -n 6 -model wave       # simulate the tail-cycle counterexample
+//	minsim -net omega -n 6 -faults dead=0.02,link=0.01     # random fault rates
+//	minsim -net omega -n 6 -faults dead@1:3,stuck0@0:2     # pinned faults
 //	minsim -sweep -n 6 -loads 0.2,0.4,0.6,0.8,1.0    # load x network grid
 //	minsim -sweep -model buffered -n 6 -queues 2,8 -lanegrid 1,4   # load x queue x lanes
+//	minsim -sweep -n 5 -faultrates 0,0.01,0.05       # degradation curves
 //	minsim -patterns                       # list traffic scenarios
 //
 // Every run shards its trials across -workers goroutines (default
@@ -17,6 +20,12 @@
 // model injects by the named scenario: load-aware scenarios (bernoulli,
 // bursty) consume -load themselves, every other pattern is thinned to
 // the offered -load.
+//
+// -faults degrades the fabric: comma-separated rate items (dead=R,
+// stuck=R, link=R — Bernoulli per element, redrawn per trial) and
+// pinned items (dead@stage:cell, stuck0@stage:cell, stuck1@stage:cell,
+// link@stage:link). -faultrates adds a switch-dead-rate axis to -sweep.
+// Degraded runs stay reproducible from (-seed, -faults) alone.
 package main
 
 import (
@@ -58,11 +67,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	idleLoad := fs.Float64("idleload", 0.1, "off-phase load (bursty pattern)")
 	seed := fs.Uint64("seed", 1, "root rng seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	faults := fs.String("faults", "", "fault plan: rate items (dead=R,stuck=R,link=R) and pinned items (dead@S:C, stuck0@S:C, stuck1@S:C, link@S:L)")
 	sweep := fs.Bool("sweep", false, "run a load x network grid in one invocation")
 	nets := fs.String("nets", "", "comma-separated networks for -sweep (default: all)")
 	loads := fs.String("loads", "0.2,0.4,0.6,0.8,1.0", "comma-separated loads for -sweep")
 	queues := fs.String("queues", "", "comma-separated queue depths for buffered -sweep (default: -queue)")
 	laneGrid := fs.String("lanegrid", "", "comma-separated lane counts for buffered -sweep (default: -lanes)")
+	faultRates := fs.String("faultrates", "", "comma-separated switch-dead rates adding a fault axis to -sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,12 +118,26 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if *model != "buffered" && (*queues != "" || *laneGrid != "") {
 			return fmt.Errorf("-queues/-lanegrid apply to the buffered sweep only")
 		}
+		if *faults != "" {
+			return fmt.Errorf("-sweep varies faults through -faultrates, not -faults")
+		}
 		return runSweep(ctx, w, sweepSpec{
 			model: *model, n: *n, nets: *nets, loads: *loads,
-			queues: *queues, laneGrid: *laneGrid,
+			queues: *queues, laneGrid: *laneGrid, faultRates: *faultRates,
 			waves: *waves, reps: *reps, queue: *queue, lanes: *lanes,
 			cycles: *cycles, warmup: *warmup,
 		}, *seed, *workers)
+	}
+	if *faultRates != "" {
+		return fmt.Errorf("-faultrates is a -sweep axis; use -faults for a single run")
+	}
+
+	plan, err := parseFaultSpec(*faults)
+	if err != nil {
+		return err
+	}
+	if !plan.Empty() {
+		common = append(common, min.WithFaults(plan))
 	}
 
 	nw, err := buildNetwork(*counter, *netName, *n)
@@ -138,6 +163,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			st.Throughput.Mean, st.Throughput.CI95)
 		fmt.Fprintf(w, "  offered %d, delivered %d, dropped %d, misrouted %d\n",
 			st.Offered, st.Delivered, st.Dropped, st.Misrouted)
+		if !plan.Empty() {
+			fmt.Fprintf(w, "  faults: %s; %d packets killed by faults\n", *faults, st.FaultDropped)
+		}
 		return nil
 
 	case "buffered":
@@ -155,8 +183,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fmt.Fprintf(w, "  mean latency %.2f ± %.2f cycles (p50 %.0f, p95 %.0f, p99 %.0f)\n",
 			st.Latency.Mean, st.Latency.CI95,
 			st.LatencyP50.Mean, st.LatencyP95.Mean, st.LatencyP99.Mean)
-		fmt.Fprintf(w, "  injected %d, delivered %d, rejected %d, dropped %d, in flight %d\n",
-			st.Injected, st.Delivered, st.Rejected, st.Dropped, st.InFlight)
+		fmt.Fprintf(w, "  injected %d, delivered %d, rejected %d, dropped %d, misrouted %d, in flight %d\n",
+			st.Injected, st.Delivered, st.Rejected, st.Dropped, st.Misrouted, st.InFlight)
+		if !plan.Empty() {
+			fmt.Fprintf(w, "  faults: %s; %d packets killed by faults\n", *faults, st.FaultDropped)
+		}
 		fmt.Fprintf(w, "  max lane occupancy %d; mean stage occupancy", st.MaxOccupancy)
 		for _, occ := range st.StageOccupancy {
 			fmt.Fprintf(w, " %.1f", occ)
@@ -167,6 +198,70 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown model %q", *model)
 	}
+}
+
+// parseFaultSpec builds a fault plan from the -faults syntax: rate
+// items kind=rate (dead, stuck, link) and pinned items kind@stage:coord
+// (dead, stuck0, stuck1 with a cell; link with an outlink).
+func parseFaultSpec(spec string) (min.FaultPlan, error) {
+	var plan min.FaultPlan
+	if spec == "" {
+		return plan, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if kind, val, ok := strings.Cut(item, "="); ok {
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return plan, fmt.Errorf("bad fault rate %q: %w", item, err)
+			}
+			switch kind {
+			case "dead":
+				plan.SwitchDeadRate = rate
+			case "stuck":
+				plan.SwitchStuckRate = rate
+			case "link":
+				plan.LinkDownRate = rate
+			default:
+				return plan, fmt.Errorf("unknown fault rate %q (dead, stuck, link)", kind)
+			}
+			continue
+		}
+		kind, loc, ok := strings.Cut(item, "@")
+		if !ok {
+			return plan, fmt.Errorf("bad fault item %q (want kind=rate or kind@stage:coord)", item)
+		}
+		stageStr, coordStr, ok := strings.Cut(loc, ":")
+		if !ok {
+			return plan, fmt.Errorf("bad fault location %q (want stage:coord)", loc)
+		}
+		stage, err := strconv.Atoi(stageStr)
+		if err != nil {
+			return plan, fmt.Errorf("bad fault stage %q: %w", stageStr, err)
+		}
+		coord, err := strconv.Atoi(coordStr)
+		if err != nil {
+			return plan, fmt.Errorf("bad fault coordinate %q: %w", coordStr, err)
+		}
+		f := min.Fault{Stage: stage}
+		switch kind {
+		case "dead":
+			f.Kind, f.Cell = min.SwitchDead, coord
+		case "stuck0":
+			f.Kind, f.Cell = min.SwitchStuck0, coord
+		case "stuck1":
+			f.Kind, f.Cell = min.SwitchStuck1, coord
+		case "link":
+			f.Kind, f.Link = min.LinkDown, coord
+		default:
+			return plan, fmt.Errorf("unknown fault kind %q (dead, stuck0, stuck1, link)", kind)
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan, nil
 }
 
 func buildNetwork(counter bool, netName string, n int) (*min.Network, error) {
@@ -195,6 +290,7 @@ type sweepSpec struct {
 	nets             string
 	loads            string
 	queues, laneGrid string // buffered model only
+	faultRates       string // switch-dead rates; "" = intact only
 	waves, reps      int
 	queue, lanes     int
 	cycles, warmup   int
@@ -228,8 +324,11 @@ func parseInts(list string, fallback int) ([]int, error) {
 }
 
 // runSweep evaluates a grid in one invocation: Bernoulli wave traffic
-// per load for the wave model (network x load), or buffered runs over
-// the full load x queue x lanes grid per network.
+// per load for the wave model (network x [fault rate x] load), or
+// buffered runs over the full load x queue x lanes [x fault rate] grid
+// per network — buffered rows carry loss (dropped/rejected) and latency
+// percentiles, not just throughput, so saturation and degradation
+// tables show where packets go.
 func runSweep(ctx context.Context, w io.Writer, sp sweepSpec, seed uint64, workers int) error {
 	names := min.CatalogNames()
 	if sp.nets != "" {
@@ -245,12 +344,32 @@ func runSweep(ctx context.Context, w io.Writer, sp sweepSpec, seed uint64, worke
 	if len(loadVals) == 0 {
 		return fmt.Errorf("empty load list")
 	}
+	rateVals := []float64{0}
+	faultAxis := sp.faultRates != ""
+	if faultAxis {
+		if rateVals, err = parseFloats(sp.faultRates); err != nil {
+			return err
+		}
+		if len(rateVals) == 0 {
+			return fmt.Errorf("empty fault-rate list")
+		}
+	}
+	// withFaults appends the grid point's degradation (switch-dead rate).
+	withFaults := func(opts []min.Option, rate float64) []min.Option {
+		if rate == 0 {
+			return opts
+		}
+		return append(opts, min.WithFaults(min.FaultPlan{SwitchDeadRate: rate}))
+	}
 	common := []min.Option{min.WithSeed(seed), min.WithWorkers(workers)}
 	switch sp.model {
 	case "wave":
-		fmt.Fprintf(w, "sweep: wave model, n=%d (N=%d), %d networks x %d loads\n",
-			sp.n, 1<<uint(sp.n), len(names), len(loadVals))
+		fmt.Fprintf(w, "sweep: wave model, n=%d (N=%d), %d networks x %d fault rates x %d loads\n",
+			sp.n, 1<<uint(sp.n), len(names), len(rateVals), len(loadVals))
 		fmt.Fprintf(w, "%-26s", "network")
+		if faultAxis {
+			fmt.Fprintf(w, " %-7s", "dead")
+		}
 		for _, l := range loadVals {
 			fmt.Fprintf(w, " load=%-8.2f", l)
 		}
@@ -260,16 +379,21 @@ func runSweep(ctx context.Context, w io.Writer, sp sweepSpec, seed uint64, worke
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%-26s", nw.Name())
-			for _, l := range loadVals {
-				st, err := min.Simulate(ctx, nw, append(common,
-					min.WithScenario("bernoulli"), min.WithLoad(l), min.WithWaves(sp.waves))...)
-				if err != nil {
-					return err
+			for _, rate := range rateVals {
+				fmt.Fprintf(w, "%-26s", nw.Name())
+				if faultAxis {
+					fmt.Fprintf(w, " %-7.3f", rate)
 				}
-				fmt.Fprintf(w, " %-13.4f", st.Throughput.Mean)
+				for _, l := range loadVals {
+					st, err := min.Simulate(ctx, nw, withFaults(append(common,
+						min.WithScenario("bernoulli"), min.WithLoad(l), min.WithWaves(sp.waves)), rate)...)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, " %-13.4f", st.Throughput.Mean)
+				}
+				fmt.Fprintln(w)
 			}
-			fmt.Fprintln(w)
 		}
 		return nil
 
@@ -282,13 +406,14 @@ func runSweep(ctx context.Context, w io.Writer, sp sweepSpec, seed uint64, worke
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "sweep: buffered model, n=%d (N=%d), %d networks x %d loads x %d queues x %d lanes\n",
-			sp.n, 1<<uint(sp.n), len(names), len(loadVals), len(queueVals), len(laneVals))
+		fmt.Fprintf(w, "sweep: buffered model, n=%d (N=%d), %d networks x %d loads x %d queues x %d lanes x %d fault rates\n",
+			sp.n, 1<<uint(sp.n), len(names), len(loadVals), len(queueVals), len(laneVals), len(rateVals))
 		fmt.Fprintf(w, "%-26s %-6s %-6s", "network", "queue", "lanes")
-		for _, l := range loadVals {
-			fmt.Fprintf(w, " load=%-8.2f", l)
+		if faultAxis {
+			fmt.Fprintf(w, " %-7s", "dead")
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintf(w, " %-6s %-11s %-8s %-9s %-14s\n",
+			"load", "throughput", "dropped", "rejected", "p50/p95/p99")
 		for _, name := range names {
 			nw, err := buildNetwork(false, name, sp.n)
 			if err != nil {
@@ -296,18 +421,24 @@ func runSweep(ctx context.Context, w io.Writer, sp sweepSpec, seed uint64, worke
 			}
 			for _, q := range queueVals {
 				for _, lanes := range laneVals {
-					fmt.Fprintf(w, "%-26s %-6d %-6d", nw.Name(), q, lanes)
-					for _, l := range loadVals {
-						st, err := min.SimulateBuffered(ctx, nw, append(common,
-							min.WithLoad(l), min.WithQueue(q), min.WithLanes(lanes),
-							min.WithCycles(sp.cycles), min.WithWarmup(sp.warmup),
-							min.WithReplications(sp.reps))...)
-						if err != nil {
-							return err
+					for _, rate := range rateVals {
+						for _, l := range loadVals {
+							st, err := min.SimulateBuffered(ctx, nw, withFaults(append(common,
+								min.WithLoad(l), min.WithQueue(q), min.WithLanes(lanes),
+								min.WithCycles(sp.cycles), min.WithWarmup(sp.warmup),
+								min.WithReplications(sp.reps)), rate)...)
+							if err != nil {
+								return err
+							}
+							fmt.Fprintf(w, "%-26s %-6d %-6d", nw.Name(), q, lanes)
+							if faultAxis {
+								fmt.Fprintf(w, " %-7.3f", rate)
+							}
+							fmt.Fprintf(w, " %-6.2f %-11.4f %-8d %-9d %3.0f/%3.0f/%3.0f\n",
+								l, st.Throughput.Mean, st.Dropped, st.Rejected,
+								st.LatencyP50.Mean, st.LatencyP95.Mean, st.LatencyP99.Mean)
 						}
-						fmt.Fprintf(w, " %-13.4f", st.Throughput.Mean)
 					}
-					fmt.Fprintln(w)
 				}
 			}
 		}

@@ -152,9 +152,15 @@ func TestBufferedSweepGrid(t *testing.T) {
 	if !strings.Contains(out, "1 networks x 2 loads x 2 queues x 2 lanes") {
 		t.Errorf("grid header wrong:\n%s", out)
 	}
-	// 1 header + 1 network x 2 queues x 2 lanes rows.
-	if rows := strings.Count(out, "omega"); rows != 4 {
-		t.Errorf("want 4 omega rows, got %d:\n%s", rows, out)
+	// One long-format row per (queue, lanes, load) grid point, each
+	// carrying loss and latency percentiles, not only throughput.
+	if rows := strings.Count(out, "omega"); rows != 8 {
+		t.Errorf("want 8 omega rows, got %d:\n%s", rows, out)
+	}
+	for _, col := range []string{"throughput", "dropped", "rejected", "p50/p95/p99"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("buffered sweep missing %q column:\n%s", col, out)
+		}
 	}
 	if _, err := runSim(t, "-sweep", "-model", "buffered", "-n", "3", "-queues", "abc"); err == nil {
 		t.Error("bad queue list accepted")
@@ -193,5 +199,78 @@ func TestSimErrors(t *testing.T) {
 	}
 	if _, err := runSim(t, "-model", "buffered", "-n", "3", "-queue", "0"); err == nil {
 		t.Error("zero queue accepted")
+	}
+}
+
+func TestFaultsFlag(t *testing.T) {
+	// Random rates degrade a wave run and report the fault kills.
+	out, err := runSim(t, "-net", "omega", "-n", "4", "-model", "wave", "-waves", "30",
+		"-faults", "dead=0.05,link=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "faults: dead=0.05,link=0.02") || !strings.Contains(out, "killed by faults") {
+		t.Errorf("fault summary missing:\n%s", out)
+	}
+	// Pinned faults work on the buffered model too.
+	out, err = runSim(t, "-net", "omega", "-n", "3", "-model", "buffered",
+		"-cycles", "100", "-warmup", "10", "-faults", "dead@1:0, stuck0@0:1, link@2:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "killed by faults") {
+		t.Errorf("buffered fault summary missing:\n%s", out)
+	}
+	// Degraded runs are reproducible from (seed, plan).
+	a, err := runSim(t, "-n", "4", "-waves", "40", "-seed", "5", "-workers", "1", "-faults", "dead=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runSim(t, "-n", "4", "-waves", "40", "-seed", "5", "-workers", "3", "-faults", "dead=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("degraded output depends on worker count:\n%s\nvs\n%s", a, b)
+	}
+	// Bad specs are rejected.
+	for _, bad := range []string{"dead", "dead=x", "nope=0.1", "dead@3", "dead@a:b", "stuck2@0:0", "dead=2"} {
+		if _, err := runSim(t, "-n", "3", "-faults", bad); err == nil {
+			t.Errorf("fault spec %q accepted", bad)
+		}
+	}
+	// -faultrates belongs to -sweep; -faults belongs to single runs.
+	if _, err := runSim(t, "-n", "3", "-faultrates", "0.1"); err == nil {
+		t.Error("-faultrates accepted without -sweep")
+	}
+	if _, err := runSim(t, "-sweep", "-n", "3", "-faults", "dead=0.1"); err == nil {
+		t.Error("-faults accepted with -sweep")
+	}
+}
+
+func TestFaultRateSweepAxis(t *testing.T) {
+	out, err := runSim(t, "-sweep", "-n", "3", "-waves", "10", "-nets", "omega",
+		"-loads", "0.5,1.0", "-faultrates", "0,0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 fault rates") || !strings.Contains(out, "dead") {
+		t.Errorf("fault axis header missing:\n%s", out)
+	}
+	// One row per (network, rate).
+	if rows := strings.Count(out, "omega"); rows != 2 {
+		t.Errorf("want 2 omega rows, got %d:\n%s", rows, out)
+	}
+	// Buffered degradation sweep runs too.
+	out, err = runSim(t, "-sweep", "-model", "buffered", "-n", "3", "-cycles", "80",
+		"-warmup", "10", "-nets", "omega", "-loads", "0.6", "-faultrates", "0,0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := strings.Count(out, "omega"); rows != 2 {
+		t.Errorf("want 2 buffered omega rows, got %d:\n%s", rows, out)
+	}
+	if _, err := runSim(t, "-sweep", "-n", "3", "-faultrates", "abc"); err == nil {
+		t.Error("bad fault-rate list accepted")
 	}
 }

@@ -21,7 +21,16 @@ func main() {
 	defer srv.Close()
 	base := srv.URL
 
-	// 1. Discover the catalog and the traffic scenarios.
+	// 1. Liveness first: version, uptime and a cache snapshot — what a
+	// load balancer or operator polls.
+	var health struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	getJSON(base+"/v1/healthz", &health)
+	fmt.Printf("healthz: %s (version %s)\n\n", health.Status, health.Version)
+
+	// 2. Discover the catalog and the traffic scenarios.
 	var inventory struct {
 		Networks []struct {
 			Name        string `json:"name"`
@@ -38,7 +47,7 @@ func main() {
 	}
 	fmt.Printf("scenarios: %d available\n\n", len(inventory.Scenarios))
 
-	// 2. Check the characterization of a custom butterfly cascade sent
+	// 3. Check the characterization of a custom butterfly cascade sent
 	// as explicit index permutations.
 	var check struct {
 		Report struct {
@@ -51,7 +60,7 @@ func main() {
 	fmt.Printf("custom cascade: banyan=%v baseline-equivalent=%v\n\n",
 		check.Report.Banyan, check.Report.Equivalent)
 
-	// 3. Route a packet and print the tag schedule.
+	// 4. Route a packet and print the tag schedule.
 	var route struct {
 		Path struct {
 			Hops []struct {
@@ -69,11 +78,12 @@ func main() {
 	}
 	fmt.Println()
 
-	// 4. Run a seeded simulation; the same request always returns the
+	// 5. Run a seeded simulation; the same request always returns the
 	// same bytes, so results are cacheable and comparable.
 	var sim struct {
 		Wave struct {
-			Throughput struct {
+			FaultDropped int `json:"faultDropped"`
+			Throughput   struct {
 				Mean float64 `json:"mean"`
 				CI95 float64 `json:"ci95"`
 			} `json:"throughput"`
@@ -83,9 +93,17 @@ func main() {
 	postJSON(base+"/v1/simulate", req, &sim)
 	fmt.Printf("omega n=6 uniform, 400 waves (seed 42): throughput %.4f ± %.4f\n",
 		sim.Wave.Throughput.Mean, sim.Wave.Throughput.CI95)
+
+	// 6. The same run on a degraded fabric: a faults object injects
+	// random dead switches per trial — still reproducible from the body.
+	reqFaulty := `{"network":"omega","stages":6,"waves":400,"seed":42,"scenario":"uniform",` +
+		`"faults":{"switchDeadRate":0.03}}`
+	postJSON(base+"/v1/simulate", reqFaulty, &sim)
+	fmt.Printf("  ... with 3%% dead switches: throughput %.4f ± %.4f (%d fault kills)\n",
+		sim.Wave.Throughput.Mean, sim.Wave.Throughput.CI95, sim.Wave.FaultDropped)
 	fmt.Println()
 
-	// 5. Check responses are cached by topology: repeating a request is
+	// 7. Check responses are cached by topology: repeating a request is
 	// served from the LRU (byte-identical to the cold run, X-Cache: HIT)
 	// and /v1/stats exposes the counters.
 	checkBody := `{"network":"baseline","stages":5}`

@@ -1,3 +1,3 @@
 module minequiv
 
-go 1.23
+go 1.24

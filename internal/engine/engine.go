@@ -10,6 +10,10 @@
 // reduced sequentially in index order. Aggregate statistics are
 // therefore byte-identical for any worker count, which is what makes
 // parallel runs trustworthy replacements for the old sequential loops.
+// Fault injection obeys the same discipline: a Config.Faults plan is
+// resampled per trial from the decorrelated stream NewFaultRand(seed, t)
+// into worker-owned FaultStates, so degraded runs are reproducible from
+// (seed, plan) alone and never perturb the traffic streams.
 package engine
 
 import (
@@ -27,6 +31,22 @@ import (
 type Config struct {
 	Workers int    // goroutines; <= 0 means GOMAXPROCS
 	Seed    uint64 // root seed; trial t uses stream NewRand(Seed, t)
+
+	// Faults degrades the fabric: each trial samples the plan into a
+	// worker-owned FaultState using the dedicated stream
+	// NewFaultRand(Seed, t), so pinned faults hold for every trial,
+	// random rates redraw per trial, traffic draws are untouched, and
+	// aggregates remain byte-identical for any worker count. nil (or a
+	// pointer to an empty plan) simulates the intact fabric.
+	Faults *sim.FaultPlan
+}
+
+// faultPlan returns the active plan, or nil for an intact run.
+func (c Config) faultPlan() *sim.FaultPlan {
+	if c.Faults == nil || c.Faults.Empty() {
+		return nil
+	}
+	return c.Faults
 }
 
 func (c Config) workers(trials int) int {
@@ -84,11 +104,12 @@ func shard(ctx context.Context, cfg Config, trials int, scratch func() any, fn f
 
 // WaveStats aggregates a sharded run of independent waves.
 type WaveStats struct {
-	Waves     int
-	Offered   int
-	Delivered int
-	Dropped   int
-	Misrouted int
+	Waves        int
+	Offered      int
+	Delivered    int
+	Dropped      int
+	Misrouted    int
+	FaultDropped int // subset of Dropped killed directly by faults
 	// Throughput is the pooled delivered/offered ratio (the quantity the
 	// analytic blocking recurrence models), with dispersion from the
 	// linearized ratio-estimator variance over waves. For patterns that
@@ -108,17 +129,44 @@ func RunWaves(ctx context.Context, f *sim.Fabric, pattern sim.Traffic, waves int
 	if waves <= 0 {
 		return WaveStats{}, fmt.Errorf("engine: waves must be positive")
 	}
-	type trial struct{ offered, delivered, dropped, misrouted int }
+	plan := cfg.faultPlan()
+	if plan != nil {
+		if err := plan.Validate(f); err != nil {
+			return WaveStats{}, err
+		}
+	}
+	// A pinned-only plan realizes identically every trial: sample it once
+	// per worker. Random rates resample per trial from the dedicated
+	// fault stream (the plan was validated above, so Resample suffices).
+	resample := plan != nil && plan.Random()
+	type trial struct{ offered, delivered, dropped, misrouted, faultDropped int }
+	type waveScratch struct {
+		runner *sim.WaveRunner
+		faults *sim.FaultState
+	}
 	results := make([]trial, waves)
 	err := shard(ctx, cfg, waves,
-		func() any { return f.NewWaveRunner() },
+		func() any {
+			sc := &waveScratch{runner: f.NewWaveRunner()}
+			if plan != nil {
+				sc.faults = f.NewFaultState()
+				_ = sc.runner.SetFaults(sc.faults)
+				if !resample {
+					sc.faults.Resample(*plan, nil)
+				}
+			}
+			return sc
+		},
 		func(t int, scratch any) error {
-			runner := scratch.(*sim.WaveRunner)
-			res, err := runner.RunTraffic(pattern, NewRand(cfg.Seed, uint64(t)))
+			sc := scratch.(*waveScratch)
+			if resample {
+				sc.faults.Resample(*plan, NewFaultRand(cfg.Seed, uint64(t)))
+			}
+			res, err := sc.runner.RunTraffic(pattern, NewRand(cfg.Seed, uint64(t)))
 			if err != nil {
 				return err
 			}
-			results[t] = trial{res.Offered, res.Delivered, res.Dropped, res.Misrouted}
+			results[t] = trial{res.Offered, res.Delivered, res.Dropped, res.Misrouted, res.FaultDropped}
 			return nil
 		})
 	if err != nil {
@@ -130,6 +178,7 @@ func RunWaves(ctx context.Context, f *sim.Fabric, pattern sim.Traffic, waves int
 		out.Delivered += r.delivered
 		out.Dropped += r.dropped
 		out.Misrouted += r.misrouted
+		out.FaultDropped += r.faultDropped
 	}
 	if out.Offered > 0 {
 		m := float64(out.Delivered) / float64(out.Offered)
@@ -164,7 +213,9 @@ type BufferedStats struct {
 	Injected     int
 	Rejected     int
 	Delivered    int
-	Dropped      int // undeliverable packets discarded (non-Banyan fabrics)
+	Dropped      int // undeliverable packets discarded (non-Banyan fabrics, faults)
+	FaultDropped int // subset of Dropped killed directly by faults
+	Misrouted    int // wrong-terminal exits forced by stuck last-stage switches
 	InFlight     int
 	MaxOccupancy int   // largest single-lane queue length over all replications
 	Throughput   Stats // per-replication delivered per terminal per cycle
@@ -194,6 +245,19 @@ func RunBuffered(ctx context.Context, f *sim.Fabric, bc sim.BufferedConfig, reps
 	if err := bc.Validate(); err != nil {
 		return BufferedStats{}, err
 	}
+	plan := cfg.faultPlan()
+	if plan != nil {
+		if err := plan.Validate(f); err != nil {
+			return BufferedStats{}, err
+		}
+	}
+	// Same discipline as RunWaves: pinned-only plans sample once per
+	// worker, random rates resample per trial from the fault stream.
+	resample := plan != nil && plan.Random()
+	type bufScratch struct {
+		runner *sim.BufferedRunner
+		faults *sim.FaultState
+	}
 	results := make([]sim.BufferedResult, reps)
 	// One flat per-trial occupancy buffer: each trial copies the
 	// runner-owned StageOccupancy into its own slot so the worker's
@@ -202,11 +266,22 @@ func RunBuffered(ctx context.Context, f *sim.Fabric, bc sim.BufferedConfig, reps
 	err := shard(ctx, cfg, reps,
 		func() any {
 			r, _ := f.NewBufferedRunner(bc)
-			return r
+			sc := &bufScratch{runner: r}
+			if plan != nil {
+				sc.faults = f.NewFaultState()
+				_ = r.SetFaults(sc.faults)
+				if !resample {
+					sc.faults.Resample(*plan, nil)
+				}
+			}
+			return sc
 		},
 		func(t int, scratch any) error {
-			runner := scratch.(*sim.BufferedRunner)
-			res := runner.Run(NewRand(cfg.Seed, uint64(t)))
+			sc := scratch.(*bufScratch)
+			if resample {
+				sc.faults.Resample(*plan, NewFaultRand(cfg.Seed, uint64(t)))
+			}
+			res := sc.runner.Run(NewRand(cfg.Seed, uint64(t)))
 			copy(occ[t*f.Spans:(t+1)*f.Spans], res.StageOccupancy)
 			res.StageOccupancy = nil
 			results[t] = res
@@ -226,6 +301,8 @@ func RunBuffered(ctx context.Context, f *sim.Fabric, bc sim.BufferedConfig, reps
 		out.Rejected += r.Rejected
 		out.Delivered += r.Delivered
 		out.Dropped += r.Dropped
+		out.FaultDropped += r.FaultDropped
+		out.Misrouted += r.Misrouted
 		out.InFlight += r.InFlight
 		if r.MaxOccupancy > out.MaxOccupancy {
 			out.MaxOccupancy = r.MaxOccupancy

@@ -246,3 +246,136 @@ func TestNewRandDeterminism(t *testing.T) {
 		t.Fatalf("neighboring streams correlated: %d collisions", same)
 	}
 }
+
+// TestFaultDeterminismAcrossWorkers extends the core contract to
+// degraded runs: with a FaultPlan in force (pinned faults plus random
+// per-trial rates) the aggregates stay byte-identical for any worker
+// count, for both models.
+func TestFaultDeterminismAcrossWorkers(t *testing.T) {
+	f := fabricFor(t, topology.NameOmega, 5)
+	plan := &sim.FaultPlan{
+		Faults:          []sim.Fault{{Kind: sim.SwitchDead, Stage: 1, Cell: 2}},
+		SwitchDeadRate:  0.02,
+		SwitchStuckRate: 0.05,
+		LinkDownRate:    0.02,
+	}
+	base, err := RunWaves(context.Background(), f, sim.Uniform(), 64, Config{Workers: 1, Seed: 21, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.FaultDropped == 0 {
+		t.Fatal("fault plan produced no fault drops")
+	}
+	for _, workers := range []int{2, 7, 16} {
+		got, err := RunWaves(context.Background(), f, sim.Uniform(), 64, Config{Workers: workers, Seed: 21, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Fatalf("faulty wave run diverged at workers=%d:\n%+v\n%+v", workers, got, base)
+		}
+	}
+
+	bc := sim.BufferedConfig{Load: 0.8, Queue: 3, Lanes: 2, Cycles: 250, Warmup: 25}
+	bbase, err := RunBuffered(context.Background(), f, bc, 8, Config{Workers: 1, Seed: 22, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bbase.FaultDropped == 0 {
+		t.Fatal("buffered fault plan produced no fault drops")
+	}
+	for _, workers := range []int{3, 8} {
+		got, err := RunBuffered(context.Background(), f, bc, 8, Config{Workers: workers, Seed: 22, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, bbase) {
+			t.Fatalf("faulty buffered run diverged at workers=%d:\n%+v\n%+v", workers, got, bbase)
+		}
+	}
+}
+
+// TestFaultsDoNotPerturbTraffic: adding a plan must leave every trial's
+// traffic stream untouched — with fault rates of zero probability the
+// run is identical to a fault-free one, and with a pinned plan the
+// offered counts match the intact run exactly.
+func TestFaultsDoNotPerturbTraffic(t *testing.T) {
+	f := fabricFor(t, topology.NameOmega, 5)
+	intact, err := RunWaves(context.Background(), f, sim.Bernoulli(0.7), 48, Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := &sim.FaultPlan{Faults: []sim.Fault{{Kind: sim.SwitchDead, Stage: 0, Cell: 1}}}
+	faulty, err := RunWaves(context.Background(), f, sim.Bernoulli(0.7), 48, Config{Seed: 31, Faults: pinned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Offered != intact.Offered {
+		t.Fatalf("fault plan changed the offered traffic: %d vs %d", faulty.Offered, intact.Offered)
+	}
+	if faulty.Delivered >= intact.Delivered {
+		t.Fatalf("dead switch did not degrade delivery: %d >= %d", faulty.Delivered, intact.Delivered)
+	}
+	// An explicitly empty plan is the intact run, byte for byte.
+	empty, err := RunWaves(context.Background(), f, sim.Bernoulli(0.7), 48, Config{Seed: 31, Faults: &sim.FaultPlan{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty != intact {
+		t.Fatalf("empty plan diverged from intact run:\n%+v\n%+v", empty, intact)
+	}
+
+	// Buffered model: injection runs on its own per-trial stream, so the
+	// offered-attempt sequence (Injected + Rejected) is identical with
+	// and without a plan — faults change acceptance and delivery, never
+	// what the sources offer.
+	bc := sim.BufferedConfig{Load: 0.8, Queue: 2, Cycles: 300, Warmup: 30}
+	bIntact, err := RunBuffered(context.Background(), f, bc, 6, Config{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bFaulty, err := RunBuffered(context.Background(), f, bc, 6, Config{Seed: 33, Faults: pinned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bFaulty.Injected+bFaulty.Rejected, bIntact.Injected+bIntact.Rejected; got != want {
+		t.Fatalf("fault plan changed buffered offered attempts: %d vs %d", got, want)
+	}
+	if bFaulty.Delivered >= bIntact.Delivered {
+		t.Fatalf("buffered dead switch did not degrade delivery: %d >= %d", bFaulty.Delivered, bIntact.Delivered)
+	}
+}
+
+// TestFaultReproducibleFromSeedAndPlan: a degraded run is a pure
+// function of (seed, plan); rerunning reproduces it and changing either
+// input changes the outcome.
+func TestFaultReproducibleFromSeedAndPlan(t *testing.T) {
+	f := fabricFor(t, topology.NameOmega, 5)
+	plan := &sim.FaultPlan{SwitchDeadRate: 0.08, LinkDownRate: 0.04}
+	run := func(seed uint64, p *sim.FaultPlan) WaveStats {
+		st, err := RunWaves(context.Background(), f, sim.Uniform(), 40, Config{Seed: seed, Faults: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(5, plan), run(5, plan)
+	if a != b {
+		t.Fatalf("same (seed, plan) diverged:\n%+v\n%+v", a, b)
+	}
+	if c := run(6, plan); c == a {
+		t.Fatal("different seed reproduced the same degraded run")
+	}
+	if d := run(5, &sim.FaultPlan{SwitchDeadRate: 0.3}); d == a {
+		t.Fatal("different plan reproduced the same degraded run")
+	}
+	// Invalid plans are rejected up front.
+	if _, err := RunWaves(context.Background(), f, sim.Uniform(), 8,
+		Config{Seed: 5, Faults: &sim.FaultPlan{SwitchDeadRate: 2}}); err == nil {
+		t.Fatal("invalid fault rate accepted")
+	}
+	if _, err := RunBuffered(context.Background(), f, sim.BufferedConfig{Load: 0.5, Queue: 2, Cycles: 20}, 2,
+		Config{Seed: 5, Faults: &sim.FaultPlan{Faults: []sim.Fault{{Kind: sim.LinkDown, Stage: 9, Link: 0}}}}); err == nil {
+		t.Fatal("out-of-range fault accepted")
+	}
+}

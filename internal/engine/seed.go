@@ -30,3 +30,12 @@ func NewRand(root, stream uint64) *rand.Rand {
 	hi, lo := SeedPair(root, stream)
 	return rand.New(rand.NewPCG(hi, lo))
 }
+
+// NewFaultRand returns the fault-sampling stream for (root, stream): a
+// PCG stream decorrelated from every NewRand traffic stream of the same
+// root, so adding a FaultPlan to a run never perturbs its traffic draws
+// — trial t's traffic is identical with and without faults, and a
+// degraded run is reproducible from (root, plan) alone.
+func NewFaultRand(root, stream uint64) *rand.Rand {
+	return NewRand(splitmix64(root^0x6661756c7473), stream) // "faults"
+}

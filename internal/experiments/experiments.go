@@ -48,6 +48,7 @@ func All() []Experiment {
 		{"T13", "Extension: exhaustive census of small MI-digraphs", RunT13},
 		{"T14", "Extension: Agrawal buddy property is not sufficient ([8] vs [10])", RunT14},
 		{"T15", "Extension: buffered saturation curves and multi-lane storage", RunT15},
+		{"T16", "Extension: degradation curves under switch/link faults", RunT16},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

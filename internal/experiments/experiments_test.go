@@ -8,8 +8,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	exps := All()
-	if len(exps) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -266,6 +266,22 @@ func TestT15(t *testing.T) {
 		"p50/p95/p99", "scenario stress", "hotspot30%"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("T15 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT16(t *testing.T) {
+	out := runExp(t, "T16")
+	for _, want := range []string{"degradation curves", "dead=0.10", "fault-kind ablation",
+		"switch-stuck", "link-down", "buffered degradation", "fault kills"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T16 missing %q:\n%s", want, out)
+		}
+	}
+	// Every catalog network appears on the shared curve.
+	for _, name := range []string{"baseline", "omega", "flip", "indirect-binary-cube"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("T16 missing network %s", name)
 		}
 	}
 }

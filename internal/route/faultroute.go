@@ -1,0 +1,257 @@
+package route
+
+import (
+	"fmt"
+
+	"minequiv/internal/perm"
+)
+
+// Switch health modes for fault-aware routing. They mirror the fault
+// kinds of the simulation layer without importing it: route stays a
+// leaf package.
+const (
+	SwitchOK uint8 = iota
+	SwitchDead
+	SwitchStuck0
+	SwitchStuck1
+)
+
+// FaultSpec describes the degraded fabric a FaultyRouter routes on.
+// Nil callbacks mean "no faults of that kind".
+type FaultSpec struct {
+	// SwitchMode returns the health of the cell at (stage, cell):
+	// SwitchOK, SwitchDead, or SwitchStuck0/1 (crossbar jammed to one
+	// port).
+	SwitchMode func(stage, cell int) uint8
+	// LinkDown reports whether outlink `out` of `stage` is severed; the
+	// last stage's outlinks are the output terminals.
+	LinkDown func(stage, out int) bool
+}
+
+func (sp FaultSpec) mode(stage, cell int) uint8 {
+	if sp.SwitchMode == nil {
+		return SwitchOK
+	}
+	return sp.SwitchMode(stage, cell)
+}
+
+func (sp FaultSpec) down(stage, out int) bool {
+	return sp.LinkDown != nil && sp.LinkDown(stage, out)
+}
+
+// FaultyRouter routes on a permutation-defined network with a fixed set
+// of faulty elements, by backward reachability over the surviving
+// wiring — the same fallback discipline DPRouter uses for the intact
+// fabric. Reachability tables are compiled lazily per destination (a
+// single Route touches one; CountAdmissible fills all N), so routing
+// one pair costs O(n·h), not O(N·n·h). A FaultyRouter is NOT safe for
+// concurrent use.
+type FaultyRouter struct {
+	n     int
+	h     int
+	perms []perm.Perm
+	spec  FaultSpec
+	// canReach[dst][s*h+cell]: cell at stage s reaches output dst
+	// through surviving switches and links; nil until first needed.
+	canReach [][]bool
+}
+
+// NewFaultyRouter wraps per-stage link permutations (length n-1, each
+// on 2^n symbols) and the fault spec. The spec's callbacks are
+// consulted as destination tables are compiled on first use.
+func NewFaultyRouter(perms []perm.Perm, spec FaultSpec) (*FaultyRouter, error) {
+	n := len(perms) + 1
+	N := 1 << uint(n)
+	for s, p := range perms {
+		if p.N() != N {
+			return nil, fmt.Errorf("route: stage %d permutation on %d symbols, want %d", s, p.N(), N)
+		}
+	}
+	return &FaultyRouter{n: n, h: N / 2, perms: perms, spec: spec, canReach: make([][]bool, N)}, nil
+}
+
+// reach returns (building on first use) the surviving-reachability
+// table for one destination.
+func (r *FaultyRouter) reach(dst int) []bool {
+	if cr := r.canReach[dst]; cr != nil {
+		return cr
+	}
+	n, h, spec := r.n, r.h, r.spec
+	cr := make([]bool, n*h)
+	// Last stage: only cell dst>>1 can deliver, and only when the
+	// switch is alive, not jammed away from dst's port, and the
+	// terminal link survives.
+	cell := dst >> 1
+	d := uint8(dst & 1)
+	if ok := spec.mode(n-1, cell); ok != SwitchDead &&
+		!(ok == SwitchStuck0 && d == 1) && !(ok == SwitchStuck1 && d == 0) &&
+		!spec.down(n-1, dst) {
+		cr[(n-1)*h+cell] = true
+	}
+	for s := n - 2; s >= 0; s-- {
+		for c := 0; c < h; c++ {
+			mode := spec.mode(s, c)
+			if mode == SwitchDead {
+				continue
+			}
+			for _, p := range r.allowedPorts(mode) {
+				out := c<<1 | int(p)
+				if spec.down(s, out) {
+					continue
+				}
+				next := int(r.perms[s].Apply(uint64(out))) >> 1
+				if cr[(s+1)*h+next] {
+					cr[s*h+c] = true
+					break
+				}
+			}
+		}
+	}
+	r.canReach[dst] = cr
+	return cr
+}
+
+// allowedPorts lists the crossbar settings a switch in `mode` can make.
+func (r *FaultyRouter) allowedPorts(mode uint8) []uint8 {
+	switch mode {
+	case SwitchStuck0:
+		return ports0[:]
+	case SwitchStuck1:
+		return ports1[:]
+	default:
+		return portsBoth[:]
+	}
+}
+
+var (
+	ports0    = [1]uint8{0}
+	ports1    = [1]uint8{1}
+	portsBoth = [2]uint8{0, 1}
+)
+
+// N returns the number of terminals.
+func (r *FaultyRouter) N() int { return 1 << uint(r.n) }
+
+// Route computes a path from src to dst avoiding every faulty element,
+// or fails when the surviving fabric offers none. On a Banyan fabric
+// the surviving path, when it exists, is the unique intact path (faults
+// only remove paths, never add them).
+func (r *FaultyRouter) Route(src, dst uint64) (Path, error) {
+	nTerm := uint64(r.N())
+	if src >= nTerm || dst >= nTerm {
+		return Path{}, fmt.Errorf("route: terminal out of range (src=%d dst=%d N=%d)", src, dst, nTerm)
+	}
+	cr := r.reach(int(dst))
+	link := src
+	path := Path{Src: src, Dst: dst, Steps: make([]Step, 0, r.n)}
+	for s := 0; s < r.n; s++ {
+		cell := int(link >> 1)
+		inPort := link & 1
+		if !cr[s*r.h+cell] {
+			return Path{}, fmt.Errorf("route: no fault-free path from %d to %d (stuck at stage %d cell %d)", src, dst, s, cell)
+		}
+		mode := r.spec.mode(s, cell)
+		var d uint64
+		chosen := false
+		if s == r.n-1 {
+			d = dst & 1
+			chosen = true // reachability above already vetted mode and link
+		} else {
+			for _, p := range r.allowedPorts(mode) {
+				out := cell<<1 | int(p)
+				if r.spec.down(s, out) {
+					continue
+				}
+				next := int(r.perms[s].Apply(uint64(out))) >> 1
+				if cr[(s+1)*r.h+next] {
+					d = uint64(p)
+					chosen = true
+					break
+				}
+			}
+		}
+		if !chosen {
+			return Path{}, fmt.Errorf("route: dead end at stage %d cell %d", s, cell)
+		}
+		path.Steps = append(path.Steps, Step{Stage: s, Cell: uint64(cell), InPort: inPort, OutPort: d})
+		link = uint64(cell)<<1 | d
+		if s < r.n-1 {
+			link = r.perms[s].Apply(link)
+		}
+	}
+	if link != dst {
+		return Path{}, fmt.Errorf("route: landed on %d, want %d", link, dst)
+	}
+	return path, nil
+}
+
+// CountAdmissible enumerates all N! permutations (practical only for
+// N <= 8) and counts those the degraded fabric routes without any
+// outlink conflict: every source must have a surviving path and no two
+// paths may share a link. With no faults this coincides with the tag
+// router's classical 2^(switch count).
+func (r *FaultyRouter) CountAdmissible() (admissible, total uint64, err error) {
+	n := r.N()
+	if n > 8 {
+		return 0, 0, fmt.Errorf("route: CountAdmissible limited to N <= 8, got %d", n)
+	}
+	// Precompute each (src, dst) path's outlink trace once; nil = no
+	// surviving path.
+	traces := make([][][]uint64, n)
+	for src := 0; src < n; src++ {
+		traces[src] = make([][]uint64, n)
+		for dst := 0; dst < n; dst++ {
+			p, err := r.Route(uint64(src), uint64(dst))
+			if err != nil {
+				continue
+			}
+			tr := make([]uint64, r.n)
+			for s, st := range p.Steps {
+				tr[s] = st.Cell<<1 | st.OutPort
+			}
+			traces[src][dst] = tr
+		}
+	}
+	pi := perm.Identity(n)
+	claimed := make([][]bool, r.n)
+	for s := range claimed {
+		claimed[s] = make([]bool, n)
+	}
+	admitted := func() bool {
+		for s := range claimed {
+			for i := range claimed[s] {
+				claimed[s][i] = false
+			}
+		}
+		for src := 0; src < n; src++ {
+			tr := traces[src][pi[src]]
+			if tr == nil {
+				return false
+			}
+			for s, out := range tr {
+				if claimed[s][out] {
+					return false
+				}
+				claimed[s][out] = true
+			}
+		}
+		return true
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			total++
+			if admitted() {
+				admissible++
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			pi[k], pi[i] = pi[i], pi[k]
+			rec(k + 1)
+			pi[k], pi[i] = pi[i], pi[k]
+		}
+	}
+	rec(0)
+	return admissible, total, nil
+}

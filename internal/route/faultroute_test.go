@@ -1,0 +1,197 @@
+package route
+
+import (
+	"testing"
+
+	"minequiv/internal/topology"
+)
+
+// With no faults the FaultyRouter is exactly the DPRouter: same paths
+// for every pair, and the classical admissible count.
+func TestFaultyRouterIntactMatchesDP(t *testing.T) {
+	nw := topology.MustBuild(topology.NameOmega, 3)
+	dp, err := NewDPRouter(nw.LinkPerms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFaultyRouter(nw.LinkPerms, FaultSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := uint64(fr.N())
+	for src := uint64(0); src < N; src++ {
+		for dst := uint64(0); dst < N; dst++ {
+			a, err := dp.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := fr.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !PathsEqual(a, b) {
+				t.Fatalf("pair (%d,%d): intact FaultyRouter path differs from DPRouter", src, dst)
+			}
+		}
+	}
+	adm, total, err := fr.CountAdmissible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 stages x 4 switches: 2^12 admissible of 8!.
+	if adm != 1<<12 || total != 40320 {
+		t.Fatalf("intact admissible=%d/%d, want %d/40320", adm, total, 1<<12)
+	}
+}
+
+// A dead stage-0 switch unroutes exactly its two inputs; every full
+// permutation then needs a path it cannot have, so none is admissible.
+func TestFaultyRouterDeadSwitch(t *testing.T) {
+	nw := topology.MustBuild(topology.NameOmega, 3)
+	spec := FaultSpec{SwitchMode: func(stage, cell int) uint8 {
+		if stage == 0 && cell == 0 {
+			return SwitchDead
+		}
+		return SwitchOK
+	}}
+	fr, err := NewFaultyRouter(nw.LinkPerms, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := uint64(fr.N())
+	for dst := uint64(0); dst < N; dst++ {
+		for _, src := range []uint64{0, 1} {
+			if _, err := fr.Route(src, dst); err == nil {
+				t.Fatalf("route %d->%d through a dead switch", src, dst)
+			}
+		}
+		if _, err := fr.Route(2, dst); err != nil {
+			t.Fatalf("route 2->%d should survive: %v", dst, err)
+		}
+	}
+	adm, _, err := fr.CountAdmissible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm != 0 {
+		t.Fatalf("admissible=%d with a dead entry switch, want 0", adm)
+	}
+}
+
+// A stuck crossbar halves the reachable set of its inputs: the switch
+// can still deliver wherever the forced port leads.
+func TestFaultyRouterStuckSwitch(t *testing.T) {
+	nw := topology.MustBuild(topology.NameOmega, 4)
+	intact, err := NewFaultyRouter(nw.LinkPerms, FaultSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FaultSpec{SwitchMode: func(stage, cell int) uint8 {
+		if stage == 0 && cell == 0 {
+			return SwitchStuck0
+		}
+		return SwitchOK
+	}}
+	fr, err := NewFaultyRouter(nw.LinkPerms, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := uint64(fr.N())
+	reachable := 0
+	for dst := uint64(0); dst < N; dst++ {
+		p, err := fr.Route(0, dst)
+		if err != nil {
+			continue
+		}
+		reachable++
+		if p.Steps[0].OutPort != 0 {
+			t.Fatalf("stuck0 switch routed out port %d", p.Steps[0].OutPort)
+		}
+		// The surviving path must be the intact unique path.
+		q, err := intact.Route(0, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !PathsEqual(p, q) {
+			t.Fatalf("dst %d: stuck route differs from the intact unique path", dst)
+		}
+	}
+	if reachable != int(N)/2 {
+		t.Fatalf("stuck switch reaches %d destinations, want %d", reachable, N/2)
+	}
+}
+
+// Severing one terminal link unroutes exactly that destination.
+func TestFaultyRouterLinkDown(t *testing.T) {
+	nw := topology.MustBuild(topology.NameFlip, 3)
+	const target = 6
+	spec := FaultSpec{LinkDown: func(stage, out int) bool {
+		return stage == 2 && out == target
+	}}
+	fr, err := NewFaultyRouter(nw.LinkPerms, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := uint64(fr.N())
+	for src := uint64(0); src < N; src++ {
+		for dst := uint64(0); dst < N; dst++ {
+			_, err := fr.Route(src, dst)
+			if dst == target && err == nil {
+				t.Fatalf("route %d->%d over a severed terminal link", src, dst)
+			}
+			if dst != target && err != nil {
+				t.Fatalf("route %d->%d should survive: %v", src, dst, err)
+			}
+		}
+	}
+	adm, _, err := fr.CountAdmissible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm != 0 {
+		t.Fatalf("admissible=%d with a severed terminal, want 0", adm)
+	}
+}
+
+// A severed inter-stage link removes some paths but leaves every
+// (src, dst) pair with an alternative only when the fabric offers one —
+// on a Banyan there is none, so exactly the pairs whose unique path
+// used that link become unroutable.
+func TestFaultyRouterInterStageLinkDown(t *testing.T) {
+	nw := topology.MustBuild(topology.NameOmega, 3)
+	intact, err := NewFaultyRouter(nw.LinkPerms, FaultSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stage, out = 1, 3
+	fr, err := NewFaultyRouter(nw.LinkPerms, FaultSpec{LinkDown: func(s, o int) bool {
+		return s == stage && o == out
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := uint64(fr.N())
+	lost := 0
+	for src := uint64(0); src < N; src++ {
+		for dst := uint64(0); dst < N; dst++ {
+			p, ierr := intact.Route(src, dst)
+			if ierr != nil {
+				t.Fatal(ierr)
+			}
+			usesLink := p.Steps[stage].Cell<<1|p.Steps[stage].OutPort == out
+			_, ferr := fr.Route(src, dst)
+			if usesLink && ferr == nil {
+				t.Fatalf("pair (%d,%d) routed over the severed link", src, dst)
+			}
+			if !usesLink && ferr != nil {
+				t.Fatalf("pair (%d,%d) should be unaffected: %v", src, dst, ferr)
+			}
+			if usesLink {
+				lost++
+			}
+		}
+	}
+	if lost == 0 {
+		t.Fatal("no pair used the severed link?")
+	}
+}

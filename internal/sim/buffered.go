@@ -88,7 +88,9 @@ type BufferedResult struct {
 	Injected     int
 	Rejected     int // injection attempts refused by a full entry port
 	Delivered    int
-	Dropped      int // undeliverable head packets discarded (non-Banyan fabrics)
+	Dropped      int // undeliverable head packets discarded (non-Banyan fabrics, faults)
+	FaultDropped int // subset of Dropped killed directly by a fault (dead switch, severed link)
+	Misrouted    int // packets a stuck last-stage switch pushed out the wrong terminal
 	InFlight     int // packets still queued at the end
 	Cycles       int
 	MeanLatency  float64 // cycles from injection to delivery
@@ -124,6 +126,7 @@ type BufferedResult struct {
 // lane forever.
 type BufferedRunner struct {
 	f       *Fabric
+	faults  *FaultState
 	cfg     BufferedConfig
 	pattern Traffic
 	lanes   int
@@ -142,6 +145,15 @@ type BufferedRunner struct {
 	stageOcc   []float64
 	hist       []int32 // latency histogram; index = latency in cycles
 	dsts       []int   // injection buffer for Pattern
+
+	// Injection draws run on their own stream, reseeded from the trial
+	// rng at the top of each Run: the offered-traffic sequence is then a
+	// pure function of the trial seed, immune to how many arbitration /
+	// lane draws the service phase consumes — which is what lets a
+	// FaultPlan degrade the fabric without perturbing what the sources
+	// offer.
+	injSrc *rand.PCG
+	injRng *rand.Rand
 }
 
 // Validate checks the configuration without sizing any buffers.
@@ -192,7 +204,10 @@ func (f *Fabric) NewBufferedRunner(cfg BufferedConfig) (*BufferedRunner, error) 
 	ports := f.Spans * f.H * 2
 	fifos := ports * lanes
 	total := cfg.Warmup + cfg.Cycles
+	injSrc := rand.NewPCG(0, 0)
 	return &BufferedRunner{
+		injSrc:     injSrc,
+		injRng:     rand.New(injSrc),
 		f:          f,
 		cfg:        cfg,
 		pattern:    pattern,
@@ -213,6 +228,19 @@ func (f *Fabric) NewBufferedRunner(cfg BufferedConfig) (*BufferedRunner, error) 
 
 // Fabric returns the fabric this runner simulates.
 func (r *BufferedRunner) Fabric() *Fabric { return r.f }
+
+// SetFaults attaches a fault state the runner consults on every switch
+// decision; nil restores the intact fabric. The state must have been
+// created by the runner's own fabric. The caller keeps ownership and
+// may resample it between replications (the engine resamples per
+// trial); Run does not clear it.
+func (r *BufferedRunner) SetFaults(fs *FaultState) error {
+	if fs != nil && fs.f != r.f {
+		return fmt.Errorf("sim: fault state belongs to a different fabric")
+	}
+	r.faults = fs
+	return nil
+}
 
 // Config returns the configuration the runner was sized for.
 func (r *BufferedRunner) Config() BufferedConfig { return r.cfg }
@@ -303,6 +331,10 @@ func (r *BufferedRunner) pickLane(s, port, dst int, rng *rand.Rand) int {
 // result's StageOccupancy aliases runner-owned storage.
 func (r *BufferedRunner) Run(rng *rand.Rand) BufferedResult {
 	f, cfg := r.f, r.cfg
+	// Derive the injection stream from the trial rng's first two words,
+	// then never touch it from the service phase: offered traffic is a
+	// pure function of the trial seed (see the injRng field comment).
+	r.injSrc.Seed(rng.Uint64(), rng.Uint64())
 	for i := range r.head {
 		r.head[i], r.count[i] = 0, 0
 	}
@@ -328,8 +360,8 @@ func (r *BufferedRunner) Run(rng *rand.Rand) BufferedResult {
 				r.serviceCell(s, cell, cycle, measuring, rng, &res, &latSum)
 			}
 		}
-		// Injection.
-		r.pattern(r.dsts, rng)
+		// Injection, on the dedicated stream.
+		r.pattern(r.dsts, r.injRng)
 		for t := 0; t < f.N; t++ {
 			dst := r.dsts[t]
 			if dst < 0 {
@@ -395,13 +427,19 @@ func (r *BufferedRunner) serviceCell(s, cell, cycle int, measuring bool, rng *ra
 			fi := r.fifo(s, port, l)
 			var pt uint8
 			for r.count[fi] > 0 {
-				pt = f.port[s][cell*f.N+r.peek(fi).Dst]
-				if pt != 0xFF {
+				pt = f.steer(r.faults, s, cell, r.peek(fi).Dst)
+				if pt < portFaulted {
 					break
 				}
+				// Undeliverable head: no path in this fabric, or a fault
+				// (dead switch / severed outlink) kills it. Dropping keeps
+				// the lane live instead of wedging it forever.
 				r.pop(fi, s)
 				if measuring {
 					res.Dropped++
+					if pt == portFaulted {
+						res.FaultDropped++
+					}
 				}
 			}
 			if r.count[fi] == 0 {
@@ -452,13 +490,21 @@ func (r *BufferedRunner) serviceCell(s, cell, cycle int, measuring bool, rng *ra
 			if s == f.Spans-1 {
 				p := r.pop(fi, s)
 				if measuring {
-					res.Delivered++
-					lat := cycle - p.Born + 1
-					*latSum += float64(lat)
-					r.hist[lat]++
+					// A stuck last-stage switch can force the wrong port:
+					// the packet leaves a terminal, just not its own. The
+					// wave model separates these as Misrouted; so do we —
+					// they are not deliveries and carry no latency sample.
+					if cell<<1|out == p.Dst {
+						res.Delivered++
+						lat := cycle - p.Born + 1
+						*latSum += float64(lat)
+						r.hist[lat]++
+					} else {
+						res.Misrouted++
+					}
 				}
 			} else {
-				dport := int(f.perms[s].Apply(uint64(cell)<<1 | uint64(out)))
+				dport := int(f.forward(s, uint64(cell)<<1|uint64(out)))
 				dl := r.pickLane(s+1, dport, r.peek(fi).Dst, rng)
 				if dl < 0 {
 					continue // backpressure stall; maybe the other input can go

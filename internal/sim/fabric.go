@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"fmt"
+
+	"minequiv/internal/perm"
+)
+
+// This file is the fabric kernel: the one compiled, immutable model of a
+// MIN's switching hardware that every simulation model drives. A stage
+// is a bank of 2x2 crossbar switches plus the link permutation carrying
+// its outlinks to the next stage's inlinks; the kernel exposes exactly
+// two operations — steer (the crossbar decision at one switch, fault
+// state included) and forward (the inter-stage wire) — and both the
+// unbuffered WaveRunner and the queued BufferedRunner are written
+// against them. There is deliberately no second copy of the per-stage
+// crossbar logic anywhere: a fault mode added to steer is instantly
+// honored by every model.
+
+// Port sentinels returned by steer. Values 0 and 1 are real output
+// ports; the sentinels classify why a packet cannot be switched.
+const (
+	// portUnreachable: the intact fabric has no path from this cell to
+	// the destination (non-Banyan gap, or a packet knocked off its
+	// unique path by an earlier stuck switch).
+	portUnreachable = 0xFF
+	// portFaulted: a fault kills the packet here — its switch is dead,
+	// or the outlink it must take is severed.
+	portFaulted = 0xFE
+)
+
+// stageKernel is one compiled stage: the switch bank's routing table and
+// the outgoing link permutation.
+type stageKernel struct {
+	// port[cell*N + dst] = output port (0/1) leading from the cell
+	// toward output terminal dst; portUnreachable when no path exists.
+	port []uint8
+	// next carries outlink x of this stage to inlink next[x] of the
+	// following stage; nil for the last stage, whose outlinks are the
+	// output terminals themselves.
+	next perm.Perm
+}
+
+// Fabric is a compiled simulation model of one MIN: per-stage 2x2
+// switch banks with precomputed destination routing tables that work
+// for ANY permutation-defined network, PIPID or not (the tables are
+// reachability-based), plus the inter-stage link permutations. A Fabric
+// is immutable and safe for concurrent use; mutable per-trial state
+// (runner scratch, fault state) lives outside it.
+type Fabric struct {
+	N      int // terminals
+	H      int // cells per stage
+	Spans  int // stages
+	stages []stageKernel
+	// ambiguous records whether some (stage, cell, dst) had BOTH ports
+	// leading to dst — a multi-path (non-Banyan) fabric. The compiled
+	// tables collapse the choice toward port 0, so this must be noted at
+	// compile time to be observable later.
+	ambiguous bool
+}
+
+// NewFabric compiles the per-stage kernels. Unreachable (cell, dst)
+// pairs are tolerated and marked, so non-Banyan networks can still be
+// simulated for comparison; pairs where both ports lead to dst
+// (multi-path ambiguity) are resolved toward port 0 and flagged.
+func NewFabric(perms []perm.Perm) (*Fabric, error) {
+	n := len(perms) + 1
+	N := 1 << uint(n)
+	h := N / 2
+	for s, p := range perms {
+		if p.N() != N {
+			return nil, fmt.Errorf("sim: stage %d permutation on %d symbols, want %d", s, p.N(), N)
+		}
+	}
+	f := &Fabric{N: N, H: h, Spans: n, stages: make([]stageKernel, n)}
+	for s := 0; s < n-1; s++ {
+		f.stages[s].next = perms[s]
+	}
+	// reach[cell] = bitset over destinations, built backward.
+	words := (N + 63) / 64
+	cur := make([][]uint64, h)  // reach at stage s+1
+	next := make([][]uint64, h) // scratch
+	for c := 0; c < h; c++ {
+		cur[c] = make([]uint64, words)
+		next[c] = make([]uint64, words)
+	}
+	// Last stage: cell c reaches terminals 2c and 2c+1.
+	for c := 0; c < h; c++ {
+		for w := range cur[c] {
+			cur[c][w] = 0
+		}
+		cur[c][(2*c)/64] |= 3 << uint((2*c)%64)
+	}
+	// Last stage port choice: dst parity.
+	f.stages[n-1].port = make([]uint8, h*N)
+	for c := 0; c < h; c++ {
+		for dst := 0; dst < N; dst++ {
+			if dst>>1 == c {
+				f.stages[n-1].port[c*N+dst] = uint8(dst & 1)
+			} else {
+				f.stages[n-1].port[c*N+dst] = portUnreachable
+			}
+		}
+	}
+	for s := n - 2; s >= 0; s-- {
+		f.stages[s].port = make([]uint8, h*N)
+		for c := 0; c < h; c++ {
+			child0 := int(perms[s].Apply(uint64(c)<<1) >> 1)
+			child1 := int(perms[s].Apply(uint64(c)<<1|1) >> 1)
+			for w := 0; w < words; w++ {
+				next[c][w] = cur[child0][w] | cur[child1][w]
+			}
+			for dst := 0; dst < N; dst++ {
+				r0 := cur[child0][dst/64]>>(uint(dst)%64)&1 == 1
+				r1 := cur[child1][dst/64]>>(uint(dst)%64)&1 == 1
+				switch {
+				case r0 && r1:
+					f.ambiguous = true
+					f.stages[s].port[c*N+dst] = 0
+				case r0:
+					f.stages[s].port[c*N+dst] = 0
+				case r1:
+					f.stages[s].port[c*N+dst] = 1
+				default:
+					f.stages[s].port[c*N+dst] = portUnreachable
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return f, nil
+}
+
+// Banyan reports whether the compiled fabric has full unique-path
+// reachability: every (stage-0 cell, destination) pair routable and no
+// stage ever offered both ports for one destination. Reach sets only
+// grow walking backward, so a reachability gap anywhere surfaces as a
+// gap at stage 0 — scanning stage 0 suffices; path multiplicity is
+// recorded during compilation because the tables collapse it.
+func (f *Fabric) Banyan() bool {
+	if f.ambiguous {
+		return false
+	}
+	for _, p := range f.stages[0].port {
+		if p == portUnreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// steer is THE 2x2 crossbar decision: the output port a packet at
+// (stage s, cell) headed for dst leaves on, honoring the fault state
+// (nil or inactive = intact fabric). Returns portFaulted when a fault
+// kills the packet here (dead switch, or the only usable outlink
+// severed) and portUnreachable when the intact wiring offers no path.
+// Allocation-free; both simulation models route every packet of every
+// cycle through this one function.
+func (f *Fabric) steer(fs *FaultState, s, cell, dst int) uint8 {
+	pt := f.stages[s].port[cell*f.N+dst]
+	if fs == nil || !fs.active {
+		return pt
+	}
+	switch fs.mode[s*f.H+cell] {
+	case switchOK:
+	case switchDead:
+		return portFaulted
+	case switchStuck0:
+		if pt == portUnreachable {
+			return pt
+		}
+		pt = 0
+	case switchStuck1:
+		if pt == portUnreachable {
+			return pt
+		}
+		pt = 1
+	}
+	if pt == portUnreachable {
+		return pt
+	}
+	out := cell<<1 | int(pt)
+	if fs.linkDown[s*f.N+out] {
+		return portFaulted
+	}
+	return pt
+}
+
+// forward carries outlink `out` of stage s along the inter-stage wire to
+// the next stage's inlink. Must not be called for the last stage, whose
+// outlinks are terminals.
+func (f *Fabric) forward(s int, out uint64) uint64 {
+	return f.stages[s].next.Apply(out)
+}
+
+// SteerSweep drives the kernel across the whole fabric once: for every
+// stage and cell it steers a destination derived from salt and, when a
+// real port comes back, forwards the outlink. It exists for the kernel
+// benchmark (steer/forward are unexported); the accumulated return
+// value defeats dead-code elimination.
+func (f *Fabric) SteerSweep(fs *FaultState, salt int) uint64 {
+	var acc uint64
+	for s := 0; s < f.Spans; s++ {
+		for c := 0; c < f.H; c++ {
+			dst := (c*2 + salt) & (f.N - 1)
+			pt := f.steer(fs, s, c, dst)
+			if pt < portFaulted {
+				out := uint64(c)<<1 | uint64(pt)
+				if s < f.Spans-1 {
+					out = f.forward(s, out)
+				}
+				acc += out
+			}
+			acc++
+		}
+	}
+	return acc
+}

@@ -3,132 +3,31 @@
 // equivalent but, being a theory paper, never runs them; sim supplies
 // the missing systems-level meaning: a synchronous packet simulator for
 // any permutation-defined MIN, with drop-on-conflict (unbuffered) and
-// FIFO-queued (buffered) switch models and the classic traffic patterns.
+// FIFO-queued (buffered) switch models, the classic traffic patterns,
+// and a first-class fault model (dead/stuck switches, severed links).
 // Isomorphic networks produce statistically identical results under
 // uniform traffic — the downstream consequence of the paper's theorem.
+//
+// Both models drive the same compiled fabric kernel (see fabric.go):
+// every crossbar decision of every model goes through Fabric.steer and
+// every inter-stage move through Fabric.forward, so the switching logic
+// — fault handling included — exists exactly once.
 //
 // Both models are allocation-free in steady state. A WaveRunner owns
 // all per-wave scratch state (packet list, claim table, arbitration
 // shuffle, per-stage drop counters); a BufferedRunner owns the
 // multi-lane ring FIFOs, arbitration pointers, latency histogram and
 // occupancy accumulators of the queued model. The parallel trial
-// engine in internal/engine gives each worker its own runner.
-// Fabric.RunWave, Fabric.Throughput and Fabric.RunBuffered remain as
-// convenience wrappers for one-off use.
+// engine in internal/engine gives each worker its own runner (and its
+// own FaultState when a FaultPlan is in force). Fabric.RunWave,
+// Fabric.Throughput and Fabric.RunBuffered remain as convenience
+// wrappers for one-off use.
 package sim
 
 import (
 	"fmt"
 	"math/rand/v2"
-
-	"minequiv/internal/perm"
 )
-
-// Fabric is a compiled simulation model of one MIN: per-stage link
-// permutations plus precomputed destination-tag routing tables that work
-// for ANY Banyan network, PIPID or not (reachability-based).
-type Fabric struct {
-	N     int // terminals
-	H     int // cells per stage
-	Spans int // stages
-	perms []perm.Perm
-	// port[s][cell*N + dst] = output port (0/1) that leads from cell at
-	// stage s toward output terminal dst; 0xFF when unreachable.
-	port [][]uint8
-	// ambiguous records whether some (stage, cell, dst) had BOTH ports
-	// leading to dst — a multi-path (non-Banyan) fabric. The compiled
-	// tables collapse the choice toward port 0, so this must be noted at
-	// compile time to be observable later.
-	ambiguous bool
-}
-
-// NewFabric compiles the routing tables. Unreachable (cell, dst) pairs
-// are tolerated and marked, so non-Banyan networks can still be
-// simulated for comparison; pairs where both ports lead to dst
-// (multi-path ambiguity) are resolved toward port 0 and flagged.
-func NewFabric(perms []perm.Perm) (*Fabric, error) {
-	n := len(perms) + 1
-	N := 1 << uint(n)
-	h := N / 2
-	for s, p := range perms {
-		if p.N() != N {
-			return nil, fmt.Errorf("sim: stage %d permutation on %d symbols, want %d", s, p.N(), N)
-		}
-	}
-	f := &Fabric{N: N, H: h, Spans: n, perms: perms}
-	// reach[cell] = bitset over destinations, built backward.
-	words := (N + 63) / 64
-	cur := make([][]uint64, h)  // reach at stage s+1
-	next := make([][]uint64, h) // scratch
-	for c := 0; c < h; c++ {
-		cur[c] = make([]uint64, words)
-		next[c] = make([]uint64, words)
-	}
-	// Last stage: cell c reaches terminals 2c and 2c+1.
-	for c := 0; c < h; c++ {
-		for w := range cur[c] {
-			cur[c][w] = 0
-		}
-		cur[c][(2*c)/64] |= 3 << uint((2*c)%64)
-	}
-	f.port = make([][]uint8, n)
-	// Last stage port choice: dst parity.
-	f.port[n-1] = make([]uint8, h*N)
-	for c := 0; c < h; c++ {
-		for dst := 0; dst < N; dst++ {
-			if dst>>1 == c {
-				f.port[n-1][c*N+dst] = uint8(dst & 1)
-			} else {
-				f.port[n-1][c*N+dst] = 0xFF
-			}
-		}
-	}
-	for s := n - 2; s >= 0; s-- {
-		f.port[s] = make([]uint8, h*N)
-		for c := 0; c < h; c++ {
-			child0 := int(perms[s].Apply(uint64(c)<<1) >> 1)
-			child1 := int(perms[s].Apply(uint64(c)<<1|1) >> 1)
-			for w := 0; w < words; w++ {
-				next[c][w] = cur[child0][w] | cur[child1][w]
-			}
-			for dst := 0; dst < N; dst++ {
-				r0 := cur[child0][dst/64]>>(uint(dst)%64)&1 == 1
-				r1 := cur[child1][dst/64]>>(uint(dst)%64)&1 == 1
-				switch {
-				case r0 && r1:
-					f.ambiguous = true
-					f.port[s][c*N+dst] = 0
-				case r0:
-					f.port[s][c*N+dst] = 0
-				case r1:
-					f.port[s][c*N+dst] = 1
-				default:
-					f.port[s][c*N+dst] = 0xFF
-				}
-			}
-		}
-		cur, next = next, cur
-	}
-	return f, nil
-}
-
-// Banyan reports whether the compiled fabric has full unique-path
-// reachability: every (stage-0 cell, destination) pair routable and no
-// stage ever offered both ports for one destination. Reach sets only
-// grow walking backward, so a reachability gap anywhere surfaces as a
-// gap at stage 0 — scanning stage 0 suffices; path multiplicity is
-// recorded during compilation because the tables collapse it.
-func (f *Fabric) Banyan() bool {
-	if f.ambiguous {
-		return false
-	}
-	for _, p := range f.port[0] {
-		if p == 0xFF {
-			return false
-		}
-	}
-	return true
-}
 
 // Packet is an in-flight message.
 type Packet struct {
@@ -138,11 +37,12 @@ type Packet struct {
 
 // WaveResult reports one synchronous unbuffered wave.
 type WaveResult struct {
-	Offered   int
-	Delivered int
-	Dropped   int
-	DropStage []int // drops per stage
-	Misrouted int   // packets that reached a wrong terminal (non-Banyan fabrics)
+	Offered      int
+	Delivered    int
+	Dropped      int
+	DropStage    []int // drops per stage
+	Misrouted    int   // packets that reached a wrong terminal (non-Banyan fabrics)
+	FaultDropped int   // subset of Dropped killed directly by a fault (dead switch, severed link)
 }
 
 // flying is a packet in transit during one wave.
@@ -157,6 +57,7 @@ type flying struct {
 // engine gives each worker its own).
 type WaveRunner struct {
 	f         *Fabric
+	faults    *FaultState
 	pkts      []flying
 	order     []int32
 	claimed   []int32 // outlink -> packet index claiming it
@@ -179,10 +80,26 @@ func (f *Fabric) NewWaveRunner() *WaveRunner {
 // Fabric returns the fabric this runner simulates.
 func (r *WaveRunner) Fabric() *Fabric { return r.f }
 
+// SetFaults attaches a fault state the runner consults on every switch
+// decision; nil restores the intact fabric. The state must have been
+// created by the runner's own fabric. The caller keeps ownership and
+// may resample it between waves (the engine resamples per trial).
+func (r *WaveRunner) SetFaults(fs *FaultState) error {
+	if fs != nil && fs.f != r.f {
+		return fmt.Errorf("sim: fault state belongs to a different fabric")
+	}
+	r.faults = fs
+	return nil
+}
+
 // RunWave pushes one batch of packets through the network: dsts[i] is
 // the destination of the packet injected at input terminal i, or -1 for
 // no packet. Two packets wanting the same switch output collide; the
-// rng picks the winner fairly and the loser is dropped.
+// rng picks the winner fairly and the loser is dropped. An attached
+// fault state is honored: dead switches and severed links kill packets
+// (counted in FaultDropped), stuck switches force the crossbar and the
+// misrouted packet is dropped downstream when its destination becomes
+// unreachable.
 //
 // The returned WaveResult's DropStage slice is owned by the runner and
 // overwritten by the next call; copy it if it must outlive the wave.
@@ -224,11 +141,14 @@ func (r *WaveRunner) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
 		for _, idx := range order {
 			p := pkts[idx]
 			cell := p.link >> 1
-			pt := f.port[s][int(cell)*f.N+p.dst]
-			if pt == 0xFF {
-				// Unreachable in this fabric: count as misroute-drop.
+			pt := f.steer(r.faults, s, int(cell), p.dst)
+			if pt >= portFaulted {
+				// Unreachable in this fabric, or killed by a fault.
 				res.DropStage[s]++
 				res.Dropped++
+				if pt == portFaulted {
+					res.FaultDropped++
+				}
 				pkts[idx].dst = -1
 				continue
 			}
@@ -248,7 +168,7 @@ func (r *WaveRunner) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
 				continue
 			}
 			if s < f.Spans-1 {
-				p.link = f.perms[s].Apply(p.link)
+				p.link = f.forward(s, p.link)
 			}
 			keep = append(keep, p)
 		}

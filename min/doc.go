@@ -58,4 +58,18 @@
 //		min.WithCycles(5000))
 //
 // Scenarios lists the named traffic patterns accepted by WithScenario.
+//
+// # Faults
+//
+// A FaultPlan degrades the fabric: pinned faults (dead switches, jammed
+// crossbars, severed links) and/or Bernoulli rates redrawn per trial.
+// WithFaults threads it through either simulation model — degraded runs
+// are reproducible from (seed, plan) alone and worker-count invariant —
+// and RouteUnderFaults / CountAdmissibleUnderFaults evaluate routing on
+// the surviving wiring:
+//
+//	plan := min.FaultPlan{SwitchDeadRate: 0.02}
+//	dstats, _ := min.Simulate(ctx, omega, min.WithFaults(plan), min.WithSeed(7))
+//	p, _ := min.RouteUnderFaults(omega, 5, 12,
+//		min.FaultPlan{Faults: []min.Fault{{Kind: min.SwitchDead, Stage: 1, Cell: 3}}})
 package min

@@ -1,0 +1,169 @@
+package min
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// WithFaults degrades both models deterministically: (seed, plan)
+// reproduces the run, fault drops are reported, and delivery falls
+// versus the intact fabric.
+func TestSimulateWithFaults(t *testing.T) {
+	nw := MustBuild(Omega, 5)
+	plan := FaultPlan{
+		Faults:         []Fault{{Kind: SwitchDead, Stage: 1, Cell: 0}},
+		SwitchDeadRate: 0.03,
+		LinkDownRate:   0.02,
+	}
+	opts := []Option{WithSeed(9), WithWaves(120)}
+	intact, err := Simulate(context.Background(), nw, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Simulate(context.Background(), nw, append(opts, WithFaults(plan))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(context.Background(), nw, append(opts, WithFaults(plan), WithWorkers(4))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("degraded run not reproducible across worker counts:\n%+v\n%+v", a, b)
+	}
+	if a.FaultDropped == 0 {
+		t.Fatal("no fault drops reported")
+	}
+	if a.Offered != intact.Offered {
+		t.Fatalf("fault plan changed offered traffic: %d vs %d", a.Offered, intact.Offered)
+	}
+	if a.Delivered >= intact.Delivered {
+		t.Fatalf("faults did not degrade delivery: %d >= %d", a.Delivered, intact.Delivered)
+	}
+
+	bopts := []Option{WithSeed(9), WithCycles(300), WithWarmup(30), WithReplications(4), WithLoad(0.8)}
+	bi, err := SimulateBuffered(context.Background(), nw, bopts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := SimulateBuffered(context.Background(), nw, append(bopts, WithFaults(plan))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf2, err := SimulateBuffered(context.Background(), nw, append(bopts, WithFaults(plan), WithWorkers(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bf, bf2) {
+		t.Fatal("degraded buffered run not reproducible across worker counts")
+	}
+	if bf.FaultDropped == 0 {
+		t.Fatal("buffered: no fault drops reported")
+	}
+	if bf.Delivered >= bi.Delivered {
+		t.Fatalf("buffered: faults did not degrade delivery: %d >= %d", bf.Delivered, bi.Delivered)
+	}
+
+	// Invalid plans surface as errors.
+	if _, err := Simulate(context.Background(), nw,
+		WithSeed(1), WithFaults(FaultPlan{Faults: []Fault{{Kind: "melted", Stage: 0}}})); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+	if _, err := SimulateBuffered(context.Background(), nw,
+		WithSeed(1), WithFaults(FaultPlan{SwitchDeadRate: 1.5})); err == nil {
+		t.Fatal("out-of-range fault rate accepted")
+	}
+}
+
+// RouteUnderFaults with an empty plan is Route; pinned faults remove
+// exactly the paths that used them.
+func TestRouteUnderFaults(t *testing.T) {
+	nw := MustBuild(Flip, 4)
+	for src := 0; src < nw.Terminals(); src += 3 {
+		for dst := 0; dst < nw.Terminals(); dst += 5 {
+			want, err := Route(nw, src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RouteUnderFaults(nw, src, dst, FaultPlan{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("(%d,%d): empty-plan route differs from Route", src, dst)
+			}
+		}
+	}
+
+	// Kill the stage-0 switch serving sources 4 and 5.
+	plan := FaultPlan{Faults: []Fault{{Kind: SwitchDead, Stage: 0, Cell: 2}}}
+	if _, err := RouteUnderFaults(nw, 4, 0, plan); err == nil {
+		t.Fatal("routed through a dead switch")
+	}
+	if _, err := RouteUnderFaults(nw, 0, 4, plan); err != nil {
+		t.Fatalf("unaffected source blocked: %v", err)
+	}
+
+	// The tail-cycle network is not PIPID-defined; fault-aware routing
+	// must still work through the reachability fallback.
+	tc, err := TailCycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RouteUnderFaults(tc, 1, 6, FaultPlan{}); err != nil {
+		t.Fatalf("tail-cycle fault routing failed: %v", err)
+	}
+
+	// Random rates have no meaning for a single route.
+	if _, err := RouteUnderFaults(nw, 0, 0, FaultPlan{SwitchDeadRate: 0.5}); err == nil {
+		t.Fatal("random rates accepted for routing")
+	}
+	// Out-of-range terminals and fault coordinates are rejected.
+	if _, err := RouteUnderFaults(nw, -1, 0, FaultPlan{}); err == nil {
+		t.Fatal("negative src accepted")
+	}
+	if _, err := RouteUnderFaults(nw, 0, nw.Terminals(), FaultPlan{}); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+	if _, err := RouteUnderFaults(nw, 0, 0, FaultPlan{Faults: []Fault{{Kind: LinkDown, Stage: 0, Link: 99}}}); err == nil {
+		t.Fatal("out-of-range fault accepted")
+	}
+}
+
+// CountAdmissibleUnderFaults reproduces the classical count on the
+// intact fabric and degrades monotonically as elements fail.
+func TestCountAdmissibleUnderFaults(t *testing.T) {
+	nw := MustBuild(Omega, 3)
+	intactAdm, total, err := CountAdmissibleUnderFaults(nw, FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAdm, wantTotal, err := CountAdmissible(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intactAdm != wantAdm || total != wantTotal {
+		t.Fatalf("intact count %d/%d differs from CountAdmissible %d/%d", intactAdm, total, wantAdm, wantTotal)
+	}
+
+	// The fragility corollary: a conflict-free full permutation uses
+	// every outlink of every stage, so ANY single fault — severed link,
+	// dead switch, jammed crossbar — zeroes the admissible count.
+	for name, plan := range map[string]FaultPlan{
+		"link":  {Faults: []Fault{{Kind: LinkDown, Stage: 1, Link: 2}}},
+		"dead":  {Faults: []Fault{{Kind: SwitchDead, Stage: 1, Cell: 1}}},
+		"stuck": {Faults: []Fault{{Kind: SwitchStuck1, Stage: 2, Cell: 3}}},
+	} {
+		adm, _, err := CountAdmissibleUnderFaults(nw, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adm != 0 {
+			t.Fatalf("%s fault: admissible=%d, want 0 (full permutations saturate the fabric)", name, adm)
+		}
+	}
+	if intactAdm == 0 {
+		t.Fatal("intact count degenerate")
+	}
+}

@@ -1,0 +1,70 @@
+package min
+
+import (
+	"testing"
+)
+
+// FuzzBuilderStageSpecs drives the Builder/FromIndexPerms surface with
+// arbitrary stage specs: whatever bytes arrive, construction must
+// either fail cleanly or yield a network whose invariants hold (stage
+// count, terminal count, PIPID detection, a compilable fabric). CI runs
+// this for a short smoke window on every push.
+func FuzzBuilderStageSpecs(f *testing.F) {
+	f.Add(3, []byte{2, 1, 0, 1, 0, 2})
+	f.Add(4, []byte{1, 2, 3, 0, 0, 1, 2, 3, 3, 2, 1, 0})
+	f.Add(2, []byte{0, 1})
+	f.Add(5, []byte{})
+	f.Add(-1, []byte{0})
+	f.Add(20, []byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, stages int, raw []byte) {
+		if stages > 12 {
+			stages %= 13 // keep networks small; size limits are tested directly
+		}
+		// Slice raw into stages-1 candidate thetas of length `stages`.
+		var thetas [][]int
+		if stages > 0 {
+			need := (stages - 1) * stages
+			for len(raw) < need {
+				raw = append(raw, byte(len(raw)))
+			}
+			thetas = make([][]int, stages-1)
+			for s := range thetas {
+				th := make([]int, stages)
+				for j := range th {
+					th[j] = int(raw[s*stages+j]) % (stages + 2) // mostly valid, sometimes out of range
+				}
+				thetas[s] = th
+			}
+		}
+		nw, err := FromIndexPerms("fuzz", stages, thetas)
+		if err != nil {
+			return // rejection is a fine outcome; panics are not
+		}
+		if nw.Stages() != stages || nw.Terminals() != 1<<uint(stages) {
+			t.Fatalf("accepted network has wrong shape: stages=%d terminals=%d", nw.Stages(), nw.Terminals())
+		}
+		if !nw.IsPIPID() {
+			t.Fatal("FromIndexPerms built a non-PIPID network")
+		}
+		// The accepted spec must round-trip through the Builder.
+		b := NewBuilder(stages)
+		for _, th := range thetas {
+			b.Stage(IndexBits(th...))
+		}
+		rebuilt, err := b.Build("fuzz-rebuilt")
+		if err != nil {
+			t.Fatalf("Builder rejected a spec FromIndexPerms accepted: %v", err)
+		}
+		if rebuilt.Fingerprint() != nw.Fingerprint() {
+			t.Fatal("Builder and FromIndexPerms disagree on the wiring")
+		}
+		// Every constructible network must characterize and simulate
+		// without panicking.
+		rep := Check(nw)
+		if rep.Banyan {
+			if _, err := Route(nw, 0, nw.Terminals()-1); err != nil {
+				t.Fatalf("banyan network failed to route: %v", err)
+			}
+		}
+	})
+}

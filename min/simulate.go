@@ -35,6 +35,10 @@ type WaveStats struct {
 	Delivered int    `json:"delivered"`
 	Dropped   int    `json:"dropped"`
 	Misrouted int    `json:"misrouted"`
+	// FaultDropped is the subset of Dropped killed directly by injected
+	// faults (dead switches, severed links); omitted when zero so
+	// fault-free responses are unchanged.
+	FaultDropped int `json:"faultDropped,omitempty"`
 	// Throughput is the pooled delivered/offered ratio over all waves.
 	Throughput Stat `json:"throughput"`
 }
@@ -42,16 +46,22 @@ type WaveStats struct {
 // BufferedStats aggregates a SimulateBuffered run: independent
 // replications of the multi-lane FIFO store-and-forward model.
 type BufferedStats struct {
-	Network        string    `json:"network"`
-	Stages         int       `json:"stages"`
-	Terminals      int       `json:"terminals"`
-	Scenario       string    `json:"scenario"`
-	Replications   int       `json:"replications"`
-	Seed           uint64    `json:"seed"`
-	Injected       int       `json:"injected"`
-	Rejected       int       `json:"rejected"`
-	Delivered      int       `json:"delivered"`
-	Dropped        int       `json:"dropped"`
+	Network      string `json:"network"`
+	Stages       int    `json:"stages"`
+	Terminals    int    `json:"terminals"`
+	Scenario     string `json:"scenario"`
+	Replications int    `json:"replications"`
+	Seed         uint64 `json:"seed"`
+	Injected     int    `json:"injected"`
+	Rejected     int    `json:"rejected"`
+	Delivered    int    `json:"delivered"`
+	Dropped      int    `json:"dropped"`
+	// FaultDropped is the subset of Dropped killed directly by injected
+	// faults; omitted when zero.
+	FaultDropped int `json:"faultDropped,omitempty"`
+	// Misrouted counts wrong-terminal exits forced by stuck last-stage
+	// switches; omitted when zero.
+	Misrouted      int       `json:"misrouted,omitempty"`
 	InFlight       int       `json:"inFlight"`
 	MaxOccupancy   int       `json:"maxOccupancy"`
 	Throughput     Stat      `json:"throughput"` // delivered per terminal per cycle
@@ -90,6 +100,7 @@ type simOptions struct {
 	scenario string
 	loadSet  bool
 	params   sim.ScenarioParams
+	faults   *FaultPlan
 
 	waves int // wave model
 
@@ -144,6 +155,16 @@ func WithHotspot(dst int, prob float64) Option {
 // WithLoad level) with probability burstProb, else offers idleLoad.
 func WithBurst(burstProb, idleLoad float64) Option {
 	return func(o *simOptions) { o.params.BurstProb = burstProb; o.params.IdleLoad = idleLoad }
+}
+
+// WithFaults degrades the fabric for the run (both models): the plan's
+// pinned faults hold for every trial and its random rates are redrawn
+// per trial from a dedicated rng stream, so results are reproducible
+// from (seed, plan) alone, traffic draws are untouched, and aggregates
+// stay identical for any worker count. An empty plan is the intact
+// fabric.
+func WithFaults(p FaultPlan) Option {
+	return func(o *simOptions) { o.faults = &p }
 }
 
 // WithWaves sets the number of independent waves (wave model only).
@@ -217,6 +238,20 @@ func applyOptions(opts []Option) simOptions {
 	return o
 }
 
+// engineConfig assembles the engine run configuration, translating the
+// public fault plan when one was given.
+func (o *simOptions) engineConfig() (engine.Config, error) {
+	cfg := engine.Config{Workers: o.workers, Seed: o.seed}
+	if o.faults != nil && !o.faults.Empty() {
+		p, err := o.faults.internal()
+		if err != nil {
+			return engine.Config{}, err
+		}
+		cfg.Faults = &p
+	}
+	return cfg, nil
+}
+
 // Simulate pushes independent synchronous waves of traffic through the
 // network on the parallel trial engine: each wave injects one batch of
 // packets, conflicting packets are dropped at the contended switch, and
@@ -235,7 +270,11 @@ func Simulate(ctx context.Context, nw *Network, opts ...Option) (WaveStats, erro
 	if err != nil {
 		return WaveStats{}, err
 	}
-	st, err := engine.RunWaves(ctx, f, tr, o.waves, engine.Config{Workers: o.workers, Seed: o.seed})
+	cfg, err := o.engineConfig()
+	if err != nil {
+		return WaveStats{}, err
+	}
+	st, err := engine.RunWaves(ctx, f, tr, o.waves, cfg)
 	if err != nil {
 		return WaveStats{}, err
 	}
@@ -244,7 +283,8 @@ func Simulate(ctx context.Context, nw *Network, opts ...Option) (WaveStats, erro
 		Scenario: o.scenario, Waves: st.Waves, Seed: o.seed,
 		Offered: st.Offered, Delivered: st.Delivered,
 		Dropped: st.Dropped, Misrouted: st.Misrouted,
-		Throughput: fromEngineStat(st.Throughput),
+		FaultDropped: st.FaultDropped,
+		Throughput:   fromEngineStat(st.Throughput),
 	}, nil
 }
 
@@ -291,7 +331,11 @@ func SimulateBuffered(ctx context.Context, nw *Network, opts ...Option) (Buffere
 	default:
 		return BufferedStats{}, fmt.Errorf("min: unknown lane policy %q", o.laneSelect)
 	}
-	st, err := engine.RunBuffered(ctx, f, bc, o.reps, engine.Config{Workers: o.workers, Seed: o.seed})
+	cfg, err := o.engineConfig()
+	if err != nil {
+		return BufferedStats{}, err
+	}
+	st, err := engine.RunBuffered(ctx, f, bc, o.reps, cfg)
 	if err != nil {
 		return BufferedStats{}, err
 	}
@@ -299,7 +343,8 @@ func SimulateBuffered(ctx context.Context, nw *Network, opts ...Option) (Buffere
 		Network: nw.Name(), Stages: nw.Stages(), Terminals: nw.Terminals(),
 		Scenario: o.scenario, Replications: st.Replications, Seed: o.seed,
 		Injected: st.Injected, Rejected: st.Rejected, Delivered: st.Delivered,
-		Dropped: st.Dropped, InFlight: st.InFlight, MaxOccupancy: st.MaxOccupancy,
+		Dropped: st.Dropped, FaultDropped: st.FaultDropped, Misrouted: st.Misrouted,
+		InFlight: st.InFlight, MaxOccupancy: st.MaxOccupancy,
 		Throughput:     fromEngineStat(st.Throughput),
 		Latency:        fromEngineStat(st.Latency),
 		LatencyP50:     fromEngineStat(st.LatencyP50),

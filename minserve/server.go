@@ -7,10 +7,16 @@
 // Endpoints (all JSON):
 //
 //	GET  /v1/networks   the catalog, the scenario registry and the limits
+//	GET  /v1/healthz    liveness: version, uptime, cache snapshot
 //	GET  /v1/stats      response-cache hit/miss counters
 //	POST /v1/check      characterization report (+ optional isomorphism)
 //	POST /v1/route      one routed path, with the tag schedule when PIPID
 //	POST /v1/simulate   wave or buffered statistics, seeded and reproducible
+//
+// /v1/route and /v1/simulate accept an optional `faults` object (a
+// min.FaultPlan): routing then avoids the pinned dead/stuck switches
+// and severed links, and simulations degrade the fabric with per-trial
+// fault sampling — still byte-reproducible from (seed, faults).
 //
 // Responses are deterministic: the same request body (same seed) yields
 // a byte-identical response body. Request contexts are threaded through
@@ -32,6 +38,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"time"
 
 	"minequiv/min"
 )
@@ -50,6 +57,9 @@ type Config struct {
 	MaxCycles int
 	// MaxWorkers caps the per-request worker count. Default GOMAXPROCS.
 	MaxWorkers int
+	// MaxFaults caps the pinned-fault list length of a request's fault
+	// plan. Default 256.
+	MaxFaults int
 	// CacheEntries bounds the LRU response cache serving repeated
 	// /v1/check and /v1/route requests on the same topology (keyed by
 	// the network's canonical arc hash plus request parameters; hits
@@ -77,29 +87,51 @@ func (c Config) withDefaults() Config {
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxFaults <= 0 {
+		c.MaxFaults = 256
+	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
 	return c
 }
 
+// Version identifies the service build; /v1/healthz reports it.
+const Version = "0.5.0"
+
 type server struct {
 	cfg   Config
 	cache *responseCache // nil when CacheEntries < 0
+	start time.Time
+	now   func() time.Time // injectable for the healthz golden test
 }
 
-// NewHandler returns the service's HTTP handler. Zero-value Config
-// fields take the documented defaults.
-func NewHandler(cfg Config) http.Handler {
+func newServer(cfg Config) *server {
 	cfg = cfg.withDefaults()
-	s := &server{cfg: cfg, cache: newResponseCache(cfg.CacheEntries)}
+	return &server{
+		cfg:   cfg,
+		cache: newResponseCache(cfg.CacheEntries),
+		start: time.Now(),
+		now:   time.Now,
+	}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("POST /v1/route", s.handleRoute)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	return mux
+}
+
+// NewHandler returns the service's HTTP handler. Zero-value Config
+// fields take the documented defaults.
+func NewHandler(cfg Config) http.Handler {
+	return newServer(cfg).handler()
 }
 
 // errorBody is the uniform error envelope.
@@ -272,10 +304,45 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{Cache: s.cache.stats()})
 }
 
+// healthzResponse is the GET /v1/healthz body: enough for a load
+// balancer to gate on and for an operator to eyeball.
+type healthzResponse struct {
+	Status        string     `json:"status"`
+	Version       string     `json:"version"`
+	UptimeSeconds int64      `json:"uptimeSeconds"`
+	Cache         CacheStats `json:"cache"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		Version:       Version,
+		UptimeSeconds: int64(s.now().Sub(s.start) / time.Second),
+		Cache:         s.cache.stats(),
+	})
+}
+
+// checkFaults bounds a request's fault plan: the pinned list length is
+// capped, coordinates and rates are validated downstream by the min
+// layer (those failures surface as 400s through the normal error path).
+func (s *server) checkFaults(p *min.FaultPlan) error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Faults) > s.cfg.MaxFaults {
+		return badRequest("fault list too long: %d > %d", len(p.Faults), s.cfg.MaxFaults)
+	}
+	return nil
+}
+
 type routeRequest struct {
 	networkSpec
 	Src int `json:"src"`
 	Dst int `json:"dst"`
+	// Faults degrades the fabric: the route then avoids the plan's
+	// pinned dead/stuck switches and severed links (random rates are
+	// rejected — routing has no trial to sample them in).
+	Faults *min.FaultPlan `json:"faults,omitempty"`
 }
 
 type routeResponse struct {
@@ -302,14 +369,34 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			nw.Terminals(), req.Src, req.Dst))
 		return
 	}
+	if err := s.checkFaults(req.Faults); err != nil {
+		writeErr(w, r, err)
+		return
+	}
 	// The body also carries the PIPID tag schedule, which depends on the
 	// construction's index permutations, not only on the arcs — fold
 	// them into the key so a network built a way that skips PIPID
-	// detection can never replay a PIPID response or vice versa.
+	// detection can never replay a PIPID response or vice versa. The
+	// fault plan shapes the path too, so it is folded in as well (an
+	// absent plan and an empty one key identically — both route the
+	// intact fabric).
 	thetas, _ := nw.IndexPerms()
-	key := fmt.Sprintf("route|%016x|%s|%d|%v|%d>%d",
-		nw.Fingerprint(), nw.Name(), nw.Stages(), thetas, req.Src, req.Dst)
+	var faults min.FaultPlan
+	if req.Faults != nil {
+		faults = *req.Faults
+	}
+	key := fmt.Sprintf("route|%016x|%s|%d|%v|%d>%d|faults=%+v",
+		nw.Fingerprint(), nw.Name(), nw.Stages(), thetas, req.Src, req.Dst, faults)
 	s.serveCached(w, r, key, func() (any, error) {
+		if !faults.Empty() {
+			path, err := min.RouteUnderFaults(nw, req.Src, req.Dst, faults)
+			if err != nil {
+				return nil, err
+			}
+			// No tag schedule: a degraded fabric is routed by
+			// reachability, not stateless destination tags.
+			return routeResponse{Network: nw.Name(), Path: path}, nil
+		}
 		path, err := min.Route(nw, req.Src, req.Dst)
 		if err != nil {
 			return nil, err
@@ -336,6 +423,10 @@ type simulateRequest struct {
 	HotProb  float64 `json:"hotProb,omitempty"`
 	Seed     uint64  `json:"seed,omitempty"`
 	Workers  int     `json:"workers,omitempty"`
+	// Faults degrades the fabric for the run: pinned faults hold for
+	// every trial, random rates are redrawn per trial; the response
+	// stays a pure function of the request body.
+	Faults *min.FaultPlan `json:"faults,omitempty"`
 
 	Waves int `json:"waves,omitempty"` // wave model
 
@@ -372,7 +463,14 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if seed == 0 {
 		seed = 1
 	}
+	if err := s.checkFaults(req.Faults); err != nil {
+		writeErr(w, r, err)
+		return
+	}
 	opts := []min.Option{min.WithSeed(seed), min.WithWorkers(req.Workers)}
+	if req.Faults != nil {
+		opts = append(opts, min.WithFaults(*req.Faults))
+	}
 	if req.Scenario != "" {
 		opts = append(opts, min.WithScenario(req.Scenario))
 	}

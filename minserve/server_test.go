@@ -313,3 +313,125 @@ func TestBodyLimit(t *testing.T) {
 		t.Fatalf("status %d, want 413", rec.Code)
 	}
 }
+
+// TestHealthzGolden pins the exact healthz body (uptime fixed by an
+// injected clock) — the wire format is part of the API.
+func TestHealthzGolden(t *testing.T) {
+	s := newServer(Config{})
+	s.start = time.Unix(1000, 0)
+	s.now = func() time.Time { return time.Unix(1042, 500_000_000) }
+	h := s.handler()
+	rec := do(t, h, "GET", "/v1/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	golden := `{"status":"ok","version":"` + Version + `","uptimeSeconds":42,` +
+		`"cache":{"hits":0,"misses":0,"entries":0,"capacity":256}}` + "\n"
+	if got := rec.Body.String(); got != golden {
+		t.Errorf("golden mismatch:\ngot  %swant %s", got, golden)
+	}
+	// The cache snapshot is live: a check populates it.
+	do(t, h, "POST", "/v1/check", `{"network":"omega","stages":3}`)
+	rec = do(t, h, "GET", "/v1/healthz", "")
+	if !strings.Contains(rec.Body.String(), `"misses":1`) {
+		t.Errorf("healthz cache snapshot stale: %s", rec.Body)
+	}
+	// Method enforcement.
+	if rec := do(t, newTestHandler(), "POST", "/v1/healthz", "{}"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/healthz: status %d", rec.Code)
+	}
+}
+
+// TestRouteWithFaults: the faults field reroutes through the degraded
+// fabric, misses the tag schedule, keys the cache separately from the
+// intact route, and rejects random rates and oversized fault lists.
+func TestRouteWithFaults(t *testing.T) {
+	h := newTestHandler()
+	intact := do(t, h, "POST", "/v1/route", `{"network":"omega","stages":4,"src":5,"dst":12}`)
+	if intact.Code != http.StatusOK {
+		t.Fatalf("intact: status %d: %s", intact.Code, intact.Body)
+	}
+	// A fault elsewhere leaves the path intact but drops the tag
+	// schedule (reachability routing) — and must NOT replay the intact
+	// cached bytes.
+	faulty := do(t, h, "POST", "/v1/route",
+		`{"network":"omega","stages":4,"src":5,"dst":12,"faults":{"faults":[{"kind":"switch-dead","stage":0,"cell":0}]}}`)
+	if faulty.Code != http.StatusOK {
+		t.Fatalf("faulty: status %d: %s", faulty.Code, faulty.Body)
+	}
+	if strings.Contains(faulty.Body.String(), "tagPositions") {
+		t.Errorf("degraded route still reports a tag schedule: %s", faulty.Body)
+	}
+	if faulty.Body.String() == intact.Body.String() {
+		t.Error("fault plan did not reach the cache key")
+	}
+	// Repeating the faulty request hits the cache with identical bytes.
+	again := do(t, h, "POST", "/v1/route",
+		`{"network":"omega","stages":4,"src":5,"dst":12,"faults":{"faults":[{"kind":"switch-dead","stage":0,"cell":0}]}}`)
+	if again.Body.String() != faulty.Body.String() || again.Header().Get("X-Cache") != "HIT" {
+		t.Error("faulty route not cached byte-identically")
+	}
+	// Killing the source's own entry switch unroutes it.
+	dead := do(t, h, "POST", "/v1/route",
+		`{"network":"omega","stages":4,"src":5,"dst":12,"faults":{"faults":[{"kind":"switch-dead","stage":0,"cell":2}]}}`)
+	if dead.Code != http.StatusBadRequest || !strings.Contains(dead.Body.String(), "no fault-free path") {
+		t.Errorf("dead entry switch: %d %s", dead.Code, dead.Body)
+	}
+	// Random rates are meaningless for a single route.
+	rec := do(t, h, "POST", "/v1/route",
+		`{"network":"omega","stages":4,"src":5,"dst":12,"faults":{"switchDeadRate":0.1}}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("random rates on route: status %d", rec.Code)
+	}
+	// Oversized fault lists are capped.
+	hCapped := NewHandler(Config{MaxFaults: 1})
+	rec = do(t, hCapped, "POST", "/v1/route",
+		`{"network":"omega","stages":4,"src":5,"dst":12,"faults":{"faults":[`+
+			`{"kind":"link-down","stage":0,"link":0},{"kind":"link-down","stage":0,"link":1}]}}`)
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "fault list too long") {
+		t.Errorf("fault cap: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestSimulateWithFaults: the faults field degrades the simulation
+// deterministically and invalid plans are 400s.
+func TestSimulateWithFaults(t *testing.T) {
+	h := newTestHandler()
+	const intactBody = `{"network":"omega","stages":5,"waves":60,"seed":7}`
+	const faultyBody = `{"network":"omega","stages":5,"waves":60,"seed":7,` +
+		`"faults":{"switchDeadRate":0.05,"linkDownRate":0.02}}`
+	intact := do(t, h, "POST", "/v1/simulate", intactBody)
+	faulty := do(t, h, "POST", "/v1/simulate", faultyBody)
+	if intact.Code != http.StatusOK || faulty.Code != http.StatusOK {
+		t.Fatalf("status %d/%d: %s %s", intact.Code, faulty.Code, intact.Body, faulty.Body)
+	}
+	if !strings.Contains(faulty.Body.String(), `"faultDropped"`) {
+		t.Errorf("degraded run reports no fault drops: %s", faulty.Body)
+	}
+	if strings.Contains(intact.Body.String(), `"faultDropped"`) {
+		t.Errorf("intact run reports fault drops: %s", intact.Body)
+	}
+	// Reproducible: same body, same bytes.
+	again := do(t, h, "POST", "/v1/simulate", faultyBody)
+	if again.Body.String() != faulty.Body.String() {
+		t.Error("degraded simulation not reproducible from the request body")
+	}
+	// Buffered model accepts faults too.
+	buf := do(t, h, "POST", "/v1/simulate",
+		`{"network":"omega","stages":4,"model":"buffered","cycles":200,"warmup":20,"seed":3,`+
+			`"faults":{"faults":[{"kind":"switch-dead","stage":1,"cell":0}]}}`)
+	if buf.Code != http.StatusOK || !strings.Contains(buf.Body.String(), `"faultDropped"`) {
+		t.Errorf("buffered faults: %d %s", buf.Code, buf.Body)
+	}
+	// Invalid plans are rejected.
+	for _, bad := range []string{
+		`{"network":"omega","stages":4,"faults":{"switchDeadRate":1.5}}`,
+		`{"network":"omega","stages":4,"faults":{"faults":[{"kind":"nope","stage":0}]}}`,
+		`{"network":"omega","stages":4,"faults":{"faults":[{"kind":"switch-dead","stage":99}]}}`,
+	} {
+		rec := do(t, h, "POST", "/v1/simulate", bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", bad, rec.Code)
+		}
+	}
+}
