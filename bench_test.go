@@ -385,6 +385,86 @@ func BenchmarkFaultedWaveLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkBitWaveLoop pins the bit-sliced executor's throughput claim:
+// one iteration steers a full 64-wave batch exactly as the engine does —
+// per-batch PCG reseeding from the trial-indexed engine streams, reused
+// BitWaveRunner — and must report 0 allocs/op. The ns/wave metric is
+// the number to compare against BenchmarkEngineWaveLoop's ns/op (one
+// scalar wave); the acceptance bar is >= 8x. CI gates on the allocs.
+func BenchmarkBitWaveLoop(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameOmega, 10).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := f.NewBitWaveRunner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pcg [64]rand.PCG
+	rngs := make([]*rand.Rand, 64)
+	for j := range rngs {
+		rngs[j] = rand.New(&pcg[j])
+	}
+	pattern := sim.Uniform()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := uint64(i) * 64
+		for j := range pcg {
+			pcg[j].Seed(engine.SeedPair(1, t0+uint64(j)))
+		}
+		if _, err := runner.RunTraffic(pattern, rngs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/64, "ns/wave")
+}
+
+// BenchmarkBitFabricKernel pins the word-parallel plane algebra itself,
+// mirroring BenchmarkFabricKernel: one full-load 64-lane pass over every
+// stage with synthetic salts, on the intact fabric and with a sampled
+// fault state folded into the per-stage lane masks. Both paths must be
+// 0 allocs/op; CI gates on it.
+func BenchmarkBitFabricKernel(b *testing.B) {
+	f, err := sim.NewFabric(topology.MustBuild(topology.NameOmega, 10).LinkPerms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := f.NewBitWaveRunner()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		sink := uint64(0)
+		for i := 0; i < b.N; i++ {
+			sink += runner.BitSteerSweep(i)
+		}
+		if sink == 0 {
+			b.Fatal("kernel steered nothing")
+		}
+	}
+	b.Run("intact", run)
+	b.Run("faulted", func(b *testing.B) {
+		fs := f.NewFaultState()
+		err := fs.Sample(sim.FaultPlan{SwitchDeadRate: 0.02, SwitchStuckRate: 0.02, LinkDownRate: 0.01},
+			engine.NewFaultRand(7, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bfs := f.NewBitFaultState()
+		if err := bfs.SetAll(fs); err != nil {
+			b.Fatal(err)
+		}
+		if err := runner.SetFaults(bfs); err != nil {
+			b.Fatal(err)
+		}
+		run(b)
+	})
+}
+
 // BenchmarkSimBuffered (T7): buffered queueing simulation.
 func BenchmarkSimBuffered(b *testing.B) {
 	f, err := sim.NewFabric(topology.MustBuild(topology.NameBaseline, 6).LinkPerms)

@@ -11,7 +11,7 @@
 //
 //	go test -run XXX -bench . -benchmem . | benchjson -o BENCH.json \
 //	    -fail-on-allocs BenchmarkEngineWaveLoop,BenchmarkBufferedRunner \
-//	    -baseline BENCH_5.json -max-regress 20 -normalize BenchmarkEngineWaveLoop
+//	    -baseline BENCH_6.json -max-regress 20 -normalize BenchmarkEngineWaveLoop
 //
 // -normalize names a stable reference benchmark: each comparison ratio
 // is divided by the reference's own current/baseline ratio first, so a

@@ -56,6 +56,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	pattern := fs.String("pattern", "uniform", "traffic scenario (see -patterns)")
 	listPatterns := fs.Bool("patterns", false, "list traffic scenarios and exit")
 	waves := fs.Int("waves", 500, "waves (wave model)")
+	kernel := fs.String("kernel", "auto", "wave executor: auto, scalar or bit (results are identical)")
 	reps := fs.Int("reps", 1, "independent replications (buffered model)")
 	load := fs.Float64("load", 0.6, "offered load (buffered model; bernoulli/bursty patterns)")
 	queue := fs.Int("queue", 4, "queue capacity per lane (buffered model)")
@@ -93,10 +94,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	// The wave model historically offers full load unless -load is given
 	// (load-aware patterns excepted); the buffered model always thins to
 	// -load. min.WithLoad implements exactly that when applied on demand.
-	loadSet := false
+	loadSet, kernelSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "load" {
+		switch f.Name {
+		case "load":
 			loadSet = true
+		case "kernel":
+			kernelSet = true
 		}
 	})
 
@@ -147,7 +151,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	switch *model {
 	case "wave":
-		opts := append(common, min.WithWaves(*waves))
+		opts := append(common, min.WithWaves(*waves), min.WithKernel(min.Kernel(*kernel)))
 		// Load-aware scenarios (bernoulli, bursty) have always consumed
 		// -load, default included; other patterns offer full load unless
 		// -load is given explicitly (which thins them).
@@ -169,6 +173,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return nil
 
 	case "buffered":
+		if kernelSet {
+			return fmt.Errorf("-kernel selects the wave executor; the buffered model has no bit-sliced form")
+		}
 		st, err := min.SimulateBuffered(ctx, nw, append(common,
 			min.WithLoad(*load), min.WithQueue(*queue), min.WithLanes(*lanes),
 			min.WithCycles(*cycles), min.WithWarmup(*warmup),

@@ -274,3 +274,26 @@ func TestFaultRateSweepAxis(t *testing.T) {
 		t.Error("bad fault-rate list accepted")
 	}
 }
+
+func TestKernelFlag(t *testing.T) {
+	args := []string{"-net", "omega", "-n", "5", "-model", "wave", "-waves", "100", "-seed", "3"}
+	base, err := runSim(t, append(args, "-kernel", "scalar")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"auto", "bit"} {
+		out, err := runSim(t, append(args, "-kernel", k)...)
+		if err != nil {
+			t.Fatalf("-kernel %s: %v", k, err)
+		}
+		if out != base {
+			t.Errorf("-kernel %s changed the output:\n%s\nvs\n%s", k, out, base)
+		}
+	}
+	if _, err := runSim(t, append(args, "-kernel", "simd")...); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := runSim(t, "-n", "3", "-model", "buffered", "-cycles", "100", "-kernel", "bit"); err == nil {
+		t.Error("-kernel accepted for the buffered model")
+	}
+}

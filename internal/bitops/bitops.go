@@ -197,6 +197,24 @@ func FromBits(bits []uint64) uint64 {
 	return x
 }
 
+// Transpose64 transposes a 64x64 bit matrix in place: after the call,
+// bit j of word i equals bit i of word j of the original. The operation
+// is an involution. This is the lane/plane pivot of the bit-sliced wave
+// kernel (internal/sim): per-wave draws land row-major (one word per
+// wave) and the kernel consumes them column-major (one lane word per
+// cell), and one transpose converts a whole 64-wave block. Classic
+// recursive block-swap (Hacker's Delight 7-3), 6 rounds of masked
+// exchanges, allocation-free.
+func Transpose64(a *[64]uint64) {
+	for j, m := 32, uint64(0x00000000FFFFFFFF); j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := ((a[k] >> uint(j)) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+	}
+}
+
 // Log2 returns the exact base-2 logarithm of x. It panics if x is not a
 // positive power of two; network sizes in this library are always exact
 // powers of two and a silent rounding would corrupt every stage count.

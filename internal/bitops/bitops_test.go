@@ -280,3 +280,29 @@ func TestInsertDeleteProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestTranspose64: reference bit-by-bit transpose, involution, and a
+// randomized property sweep.
+func TestTranspose64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 0))
+	for trial := 0; trial < 200; trial++ {
+		var a, orig [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		orig = a
+		Transpose64(&a)
+		for i := 0; i < 64; i++ {
+			for j := 0; j < 64; j++ {
+				if Bit(a[i], j) != Bit(orig[j], i) {
+					t.Fatalf("trial %d: transposed[%d] bit %d = %d, want orig[%d] bit %d = %d",
+						trial, i, j, Bit(a[i], j), j, i, Bit(orig[j], i))
+				}
+			}
+		}
+		Transpose64(&a)
+		if a != orig {
+			t.Fatalf("trial %d: transpose is not an involution", trial)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,11 @@ type Config struct {
 	// aggregates remain byte-identical for any worker count. nil (or a
 	// pointer to an empty plan) simulates the intact fabric.
 	Faults *sim.FaultPlan
+
+	// Kernel selects the unbuffered executor (see the Kernel type); the
+	// zero value KernelAuto uses the bit-sliced kernel whenever the
+	// fabric qualifies. Results never depend on the choice.
+	Kernel Kernel
 }
 
 // faultPlan returns the active plan, or nil for an intact run.
@@ -120,11 +126,21 @@ type WaveStats struct {
 	Throughput Stats
 }
 
+// waveTrial is one trial's counters, stored by trial index so reduction
+// order (and therefore every aggregate) is worker-count independent.
+type waveTrial struct{ offered, delivered, dropped, misrouted, faultDropped int }
+
 // RunWaves pushes `waves` independent waves of the pattern through the
 // fabric, sharded across cfg.Workers goroutines. The pattern must be a
 // pure function of (dsts, rng) — every pattern in the sim registry is —
 // since all workers share it with distinct buffers and rngs. Cancelling
-// ctx aborts the run within one trial and returns ctx.Err().
+// ctx aborts the run within one trial (one 64-trial batch under the
+// bit-sliced kernel) and returns ctx.Err().
+//
+// Trial t always draws from the streams NewRand(Seed, t) and
+// NewFaultRand(Seed, t) no matter which kernel executes it, and both
+// kernels are byte-identical per stream, so aggregates are invariant
+// under both worker count and kernel choice.
 func RunWaves(ctx context.Context, f *sim.Fabric, pattern sim.Traffic, waves int, cfg Config) (WaveStats, error) {
 	if waves <= 0 {
 		return WaveStats{}, fmt.Errorf("engine: waves must be positive")
@@ -135,40 +151,26 @@ func RunWaves(ctx context.Context, f *sim.Fabric, pattern sim.Traffic, waves int
 			return WaveStats{}, err
 		}
 	}
-	// A pinned-only plan realizes identically every trial: sample it once
-	// per worker. Random rates resample per trial from the dedicated
-	// fault stream (the plan was validated above, so Resample suffices).
-	resample := plan != nil && plan.Random()
-	type trial struct{ offered, delivered, dropped, misrouted, faultDropped int }
-	type waveScratch struct {
-		runner *sim.WaveRunner
-		faults *sim.FaultState
+	useBit := false
+	switch cfg.Kernel {
+	case KernelAuto:
+		useBit = f.BitSliceable()
+	case KernelScalar:
+	case KernelBit:
+		if !f.BitSliceable() {
+			return WaveStats{}, fmt.Errorf(`engine: kernel "bit" requested but the fabric is not bit-sliceable (needs Banyan reachability and <= 16 stages)`)
+		}
+		useBit = true
+	default:
+		return WaveStats{}, fmt.Errorf("engine: unknown kernel %d", uint8(cfg.Kernel))
 	}
-	results := make([]trial, waves)
-	err := shard(ctx, cfg, waves,
-		func() any {
-			sc := &waveScratch{runner: f.NewWaveRunner()}
-			if plan != nil {
-				sc.faults = f.NewFaultState()
-				_ = sc.runner.SetFaults(sc.faults)
-				if !resample {
-					sc.faults.Resample(*plan, nil)
-				}
-			}
-			return sc
-		},
-		func(t int, scratch any) error {
-			sc := scratch.(*waveScratch)
-			if resample {
-				sc.faults.Resample(*plan, NewFaultRand(cfg.Seed, uint64(t)))
-			}
-			res, err := sc.runner.RunTraffic(pattern, NewRand(cfg.Seed, uint64(t)))
-			if err != nil {
-				return err
-			}
-			results[t] = trial{res.Offered, res.Delivered, res.Dropped, res.Misrouted, res.FaultDropped}
-			return nil
-		})
+	results := make([]waveTrial, waves)
+	var err error
+	if useBit {
+		err = runWavesBit(ctx, f, pattern, waves, cfg, plan, results)
+	} else {
+		err = runWavesScalar(ctx, f, pattern, waves, cfg, plan, results)
+	}
 	if err != nil {
 		return WaveStats{}, err
 	}
@@ -204,6 +206,132 @@ func RunWaves(ctx context.Context, f *sim.Fabric, pattern sim.Traffic, waves int
 		out.Throughput = st
 	}
 	return out, nil
+}
+
+// runWavesScalar executes one trial per shard unit with the scalar
+// wave kernel. A pinned-only plan realizes identically every trial:
+// sample it once per worker. Random rates resample per trial from the
+// dedicated fault stream (the plan is already validated, so Resample
+// suffices).
+func runWavesScalar(ctx context.Context, f *sim.Fabric, pattern sim.Traffic, waves int, cfg Config, plan *sim.FaultPlan, results []waveTrial) error {
+	resample := plan != nil && plan.Random()
+	type waveScratch struct {
+		runner *sim.WaveRunner
+		faults *sim.FaultState
+	}
+	return shard(ctx, cfg, waves,
+		func() any {
+			sc := &waveScratch{runner: f.NewWaveRunner()}
+			if plan != nil {
+				sc.faults = f.NewFaultState()
+				_ = sc.runner.SetFaults(sc.faults)
+				if !resample {
+					sc.faults.Resample(*plan, nil)
+				}
+			}
+			return sc
+		},
+		func(t int, scratch any) error {
+			sc := scratch.(*waveScratch)
+			if resample {
+				sc.faults.Resample(*plan, NewFaultRand(cfg.Seed, uint64(t)))
+			}
+			res, err := sc.runner.RunTraffic(pattern, NewRand(cfg.Seed, uint64(t)))
+			if err != nil {
+				return err
+			}
+			results[t] = waveTrial{res.Offered, res.Delivered, res.Dropped, res.Misrouted, res.FaultDropped}
+			return nil
+		})
+}
+
+// runWavesBit executes the trials in 64-wide batches with the
+// bit-sliced kernel: shard unit u covers trials [64u, 64u+64), lane j
+// of the batch running trial 64u+j on its own reseeded PCG — the exact
+// NewRand/NewFaultRand streams the scalar executor would use, so the
+// per-trial results are byte-identical to runWavesScalar's. A trailing
+// remainder of fewer than 64 waves runs through the worker's scalar
+// runner inside the final unit (the kernels mix freely for the same
+// reason). All per-batch work — PCG reseeding, fault refolds, the
+// kernel itself — is allocation-free.
+func runWavesBit(ctx context.Context, f *sim.Fabric, pattern sim.Traffic, waves int, cfg Config, plan *sim.FaultPlan, results []waveTrial) error {
+	resample := plan != nil && plan.Random()
+	batches := waves / 64
+	units := batches
+	if waves%64 != 0 {
+		units++
+	}
+	froot := FaultRoot(cfg.Seed)
+	type bitScratch struct {
+		bit    *sim.BitWaveRunner
+		scalar *sim.WaveRunner
+		faults *sim.FaultState
+		bits   *sim.BitFaultState
+		pcg    [64]rand.PCG
+		rngs   [64]*rand.Rand
+		fpcg   rand.PCG
+		frng   *rand.Rand
+	}
+	return shard(ctx, cfg, units,
+		func() any {
+			sc := &bitScratch{scalar: f.NewWaveRunner()}
+			sc.bit, _ = f.NewBitWaveRunner() // BitSliceable was checked by RunWaves
+			for j := range sc.rngs {
+				sc.rngs[j] = rand.New(&sc.pcg[j])
+			}
+			sc.frng = rand.New(&sc.fpcg)
+			if plan != nil {
+				sc.faults = f.NewFaultState()
+				sc.bits = f.NewBitFaultState()
+				_ = sc.scalar.SetFaults(sc.faults)
+				_ = sc.bit.SetFaults(sc.bits)
+				if !resample {
+					sc.faults.Resample(*plan, nil)
+					_ = sc.bits.SetAll(sc.faults)
+				}
+			}
+			return sc
+		},
+		func(u int, scratch any) error {
+			sc := scratch.(*bitScratch)
+			t0 := u * 64
+			if u == batches {
+				// Remainder unit: fewer than 64 trailing waves, scalar.
+				for t := t0; t < waves; t++ {
+					if resample {
+						sc.fpcg.Seed(SeedPair(froot, uint64(t)))
+						sc.faults.Resample(*plan, sc.frng)
+					}
+					sc.pcg[0].Seed(SeedPair(cfg.Seed, uint64(t)))
+					res, err := sc.scalar.RunTraffic(pattern, sc.rngs[0])
+					if err != nil {
+						return err
+					}
+					results[t] = waveTrial{res.Offered, res.Delivered, res.Dropped, res.Misrouted, res.FaultDropped}
+				}
+				return nil
+			}
+			for j := 0; j < 64; j++ {
+				sc.pcg[j].Seed(SeedPair(cfg.Seed, uint64(t0+j)))
+			}
+			if resample {
+				for j := 0; j < 64; j++ {
+					sc.fpcg.Seed(SeedPair(froot, uint64(t0+j)))
+					sc.faults.Resample(*plan, sc.frng)
+					if err := sc.bits.SetLane(j, sc.faults); err != nil {
+						return err
+					}
+				}
+			}
+			res, err := sc.bit.RunTraffic(pattern, sc.rngs[:])
+			if err != nil {
+				return err
+			}
+			for j := 0; j < 64; j++ {
+				results[t0+j] = waveTrial{res.Offered[j], res.Delivered[j], res.Dropped[j], res.Misrouted[j], res.FaultDropped[j]}
+			}
+			return nil
+		})
 }
 
 // BufferedStats aggregates independent replications of the buffered

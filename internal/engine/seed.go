@@ -31,11 +31,20 @@ func NewRand(root, stream uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(hi, lo))
 }
 
+// FaultRoot derives the root of the fault-sampling stream family from a
+// run's root seed, decorrelated from every NewRand traffic stream of
+// the same root. Exposed (alongside SeedPair) so allocation-free
+// executors can reseed preallocated PCGs to the exact NewFaultRand
+// stream instead of constructing generators per trial.
+func FaultRoot(root uint64) uint64 {
+	return splitmix64(root ^ 0x6661756c7473) // "faults"
+}
+
 // NewFaultRand returns the fault-sampling stream for (root, stream): a
 // PCG stream decorrelated from every NewRand traffic stream of the same
 // root, so adding a FaultPlan to a run never perturbs its traffic draws
 // — trial t's traffic is identical with and without faults, and a
 // degraded run is reproducible from (root, plan) alone.
 func NewFaultRand(root, stream uint64) *rand.Rand {
-	return NewRand(splitmix64(root^0x6661756c7473), stream) // "faults"
+	return NewRand(FaultRoot(root), stream)
 }

@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"minequiv/internal/midigraph"
-	"minequiv/internal/perm"
-	"minequiv/internal/topology"
 )
 
 // NotEquivalentError reports a failed characterization check, carrying
@@ -36,89 +34,15 @@ func (e *NotEquivalentError) Error() string {
 // valid isomorphism. The result is verified before being returned; if
 // verification fails (never observed on graphs passing the check, and
 // believed impossible) the exact oracle is consulted for small n.
+//
+// The work runs on a pooled IsoBuilder, so in steady state the only
+// allocations are the returned Isomorphism's stage maps; callers with a
+// hot loop can hold their own builder instead.
 func IsoToBaseline(g *midigraph.Graph) (Isomorphism, error) {
-	report := Check(g)
-	if !report.Equivalent() {
-		return Isomorphism{}, &NotEquivalentError{Report: report}
-	}
-	n := g.Stages()
-	h := g.CellsPerStage()
-	if n == 1 {
-		return Identity(1, 1), nil
-	}
-	base := topology.Baseline(n)
-
-	labels, err := hierarchicalLabels(g)
-	if err == nil {
-		iso, buildErr := labelsToIso(labels, n, h)
-		if buildErr == nil {
-			if verr := iso.Verify(g, base); verr == nil {
-				return iso, nil
-			}
-		}
-	}
-	// Defensive fallback; exercised only by tests that feed adversarial
-	// graphs directly to the labeler.
-	if n <= OracleMaxStages {
-		if iso, ok := FindIsomorphism(g, base); ok {
-			return iso, nil
-		}
-	}
-	return Isomorphism{}, fmt.Errorf("equiv: hierarchical labeling failed (%v) and oracle unavailable for n=%d", err, n)
-}
-
-// hierarchicalLabels computes the per-node Baseline labels from the two
-// window-component hierarchies.
-func hierarchicalLabels(g *midigraph.Graph) ([][]uint64, error) {
-	n := g.Stages()
-	h := g.CellsPerStage()
-	m := g.LabelBits()
-	labels := make([][]uint64, n)
-	for s := range labels {
-		labels[s] = make([]uint64, h)
-	}
-
-	// Suffix hierarchy: S_b = window (b .. n-1). Splitting S_b into
-	// S_{b+1} assigns bit m-1-b to every node of stages b+1..n-1.
-	prevIDs, prevCount := g.Components(0, n-1) // S_0
-	for b := 0; b < n-1; b++ {
-		curIDs, curCount := g.Components(b+1, n-1) // S_{b+1}
-		split, err := splitSides(prevIDs[1:], curIDs, prevCount)
-		if err != nil {
-			return nil, fmt.Errorf("suffix window %d: %w", b, err)
-		}
-		bit := uint(m - 1 - b)
-		for t := range curIDs { // t indexes stages b+1..n-1
-			s := b + 1 + t
-			for x := 0; x < h; x++ {
-				if curIDs[t][x] == split.one[prevIDs[t+1][x]] {
-					labels[s][x] |= 1 << bit
-				}
-			}
-		}
-		prevIDs, prevCount = curIDs, curCount
-	}
-
-	// Prefix hierarchy: W_e = window (0 .. e). Splitting W_e into
-	// W_{e-1} assigns bit e-1-s to every node of stage s <= e-1.
-	prevIDs, prevCount = g.Components(0, n-1) // W_{n-1}
-	for e := n - 1; e >= 1; e-- {
-		curIDs, curCount := g.Components(0, e-1) // W_{e-1}
-		split, err := splitSides(prevIDs[:e], curIDs, prevCount)
-		if err != nil {
-			return nil, fmt.Errorf("prefix window %d: %w", e, err)
-		}
-		for s := 0; s <= e-1; s++ {
-			bit := uint(e - 1 - s)
-			for x := 0; x < h; x++ {
-				if curIDs[s][x] == split.one[prevIDs[s][x]] {
-					labels[s][x] |= 1 << bit
-				}
-			}
-		}
-		prevIDs, prevCount = curIDs, curCount
-	}
-	return labels, nil
+	b := isoBuilderPool.Get().(*IsoBuilder)
+	iso, err := b.IsoToBaseline(g)
+	isoBuilderPool.Put(b)
+	return iso, err
 }
 
 // splitTable records, per parent component id, its (at most two)
@@ -128,16 +52,15 @@ func hierarchicalLabels(g *midigraph.Graph) ([][]uint64, error) {
 // by construction, so the table is direct-addressed.
 type splitTable struct{ zero, one []int32 }
 
-// splitSides computes the split table, requiring every parent component
-// that meets the shared stages to split into exactly two child
-// components. parentIDs and childIDs cover the same stages in the same
-// order; parents is the parent window's component count (the table
-// bound).
-func splitSides(parentIDs, childIDs [][]int32, parents int) (splitTable, error) {
+// fill computes the split table in place (st.zero/st.one already sized
+// to the parent window's component count), requiring every parent
+// component that meets the shared stages to split into exactly two
+// child components. parentIDs and childIDs cover the same stages in the
+// same order.
+func (st *splitTable) fill(parentIDs, childIDs [][]int32) error {
 	if len(parentIDs) != len(childIDs) {
-		return splitTable{}, fmt.Errorf("equiv: stage slices differ (%d vs %d)", len(parentIDs), len(childIDs))
+		return fmt.Errorf("equiv: stage slices differ (%d vs %d)", len(parentIDs), len(childIDs))
 	}
-	st := splitTable{zero: make([]int32, parents), one: make([]int32, parents)}
 	for p := range st.zero {
 		st.zero[p], st.one[p] = -1, -1
 	}
@@ -151,31 +74,16 @@ func splitSides(parentIDs, childIDs [][]int32, parents int) (splitTable, error) 
 			case st.one[p] < 0:
 				st.one[p] = c
 			default:
-				return splitTable{}, fmt.Errorf("equiv: component %d splits into more than two parts", p)
+				return fmt.Errorf("equiv: component %d splits into more than two parts", p)
 			}
 		}
 	}
 	for p := range st.zero {
 		if st.zero[p] >= 0 && st.one[p] < 0 {
-			return splitTable{}, fmt.Errorf("equiv: component %d splits into 1 parts, want 2", p)
+			return fmt.Errorf("equiv: component %d splits into 1 parts, want 2", p)
 		}
 	}
-	return st, nil
-}
-
-// labelsToIso validates that each stage's labels are a bijection and
-// packages them as an Isomorphism.
-func labelsToIso(labels [][]uint64, n, h int) (Isomorphism, error) {
-	maps := make([]perm.Perm, n)
-	for s := 0; s < n; s++ {
-		p := make(perm.Perm, h)
-		copy(p, labels[s])
-		if err := p.Validate(); err != nil {
-			return Isomorphism{}, fmt.Errorf("equiv: stage %d labels not a bijection: %w", s, err)
-		}
-		maps[s] = p
-	}
-	return Isomorphism{Maps: maps}, nil
+	return nil
 }
 
 // IsoBetween returns an explicit isomorphism between two baseline-

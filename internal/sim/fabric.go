@@ -57,6 +57,15 @@ type Fabric struct {
 	// tables collapse the choice toward port 0, so this must be noted at
 	// compile time to be observable later.
 	ambiguous bool
+	// pathTag[src*N+dst] packs the port schedule the compiled tables
+	// steer for an intact (src, dst) flight: bit s is the output port
+	// taken at stage s. Non-nil exactly when the fabric is BitSliceable
+	// (Banyan unique-path, <= 16 stages); the bit-sliced wave kernel
+	// routes whole waves by these tags instead of per-stage lookups.
+	pathTag []uint16
+	// zeroFaults is the shared all-clear fault mask set the bit kernel
+	// uses for intact runs; immutable, nil unless BitSliceable.
+	zeroFaults *BitFaultState
 }
 
 // NewFabric compiles the per-stage kernels. Unreachable (cell, dst)
@@ -128,8 +137,55 @@ func NewFabric(perms []perm.Perm) (*Fabric, error) {
 		}
 		cur, next = next, cur
 	}
+	f.compilePathTags()
+	if f.pathTag != nil {
+		f.zeroFaults = f.NewBitFaultState()
+	}
 	return f, nil
 }
+
+// compilePathTags walks the compiled port tables once per (src, dst)
+// pair and packs the resulting port schedule into pathTag. Only Banyan
+// (unique-path, fully routable) fabrics of at most 16 stages (a tag is
+// a uint16) qualify; anything else leaves pathTag nil and the fabric
+// scalar-only. Uniqueness is load-bearing for byte-identity, not just
+// the tags: the bit kernel drops a fault-derailed packet on arrival at
+// the next stage, which matches the scalar portUnreachable lookup only
+// when no off-path cell can reach the destination — exactly the Banyan
+// property (a second route from a derailed cell would be a second
+// (src, dst) path through the other port of the stuck switch).
+func (f *Fabric) compilePathTags() {
+	if f.Spans > 16 || !f.Banyan() {
+		return
+	}
+	tags := make([]uint16, f.N*f.N)
+	for src := 0; src < f.N; src++ {
+		for dst := 0; dst < f.N; dst++ {
+			link := uint64(src)
+			var tag uint16
+			for s := 0; s < f.Spans; s++ {
+				cell := link >> 1
+				pt := f.stages[s].port[int(cell)*f.N+dst]
+				if pt == portUnreachable {
+					return
+				}
+				tag |= uint16(pt) << uint(s)
+				link = cell<<1 | uint64(pt)
+				if s < f.Spans-1 {
+					link = f.stages[s].next.Apply(link)
+				}
+			}
+			tags[src*f.N+dst] = tag
+		}
+	}
+	f.pathTag = tags
+}
+
+// BitSliceable reports whether the bit-sliced wave kernel can drive
+// this fabric: Banyan unique-path reachability (see compilePathTags for
+// why uniqueness is required) and at most 16 stages. Other fabrics are
+// scalar-only.
+func (f *Fabric) BitSliceable() bool { return f.pathTag != nil }
 
 // Banyan reports whether the compiled fabric has full unique-path
 // reachability: every (stage-0 cell, destination) pair routable and no

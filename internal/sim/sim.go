@@ -14,8 +14,8 @@
 // — fault handling included — exists exactly once.
 //
 // Both models are allocation-free in steady state. A WaveRunner owns
-// all per-wave scratch state (packet list, claim table, arbitration
-// shuffle, per-stage drop counters); a BufferedRunner owns the
+// all per-wave scratch state (packet list, claim table, tie-break salt
+// words, per-stage drop counters); a BufferedRunner owns the
 // multi-lane ring FIFOs, arbitration pointers, latency histogram and
 // occupancy accumulators of the queued model. The parallel trial
 // engine in internal/engine gives each worker its own runner (and its
@@ -59,8 +59,8 @@ type WaveRunner struct {
 	f         *Fabric
 	faults    *FaultState
 	pkts      []flying
-	order     []int32
-	claimed   []int32 // outlink -> packet index claiming it
+	claimed   []int32  // outlink -> packet index claiming it
+	salt      []uint64 // per-stage conflict tie-break words, bit c = cell c
 	dropStage []int
 	dsts      []int // destination buffer for RunTraffic
 }
@@ -70,8 +70,8 @@ func (f *Fabric) NewWaveRunner() *WaveRunner {
 	return &WaveRunner{
 		f:         f,
 		pkts:      make([]flying, 0, f.N),
-		order:     make([]int32, f.N),
 		claimed:   make([]int32, f.N),
+		salt:      make([]uint64, (f.H+63)/64),
 		dropStage: make([]int, f.Spans),
 		dsts:      make([]int, f.N),
 	}
@@ -94,9 +94,18 @@ func (r *WaveRunner) SetFaults(fs *FaultState) error {
 
 // RunWave pushes one batch of packets through the network: dsts[i] is
 // the destination of the packet injected at input terminal i, or -1 for
-// no packet. Two packets wanting the same switch output collide; the
-// rng picks the winner fairly and the loser is dropped. An attached
-// fault state is honored: dead switches and severed links kill packets
+// no packet. Two packets wanting the same switch output collide; a
+// per-stage salt word drawn from the rng picks the winner fairly and
+// the loser is dropped. The salt discipline is a contract shared with
+// the bit-sliced kernel (see bitfabric.go): at the start of every stage
+// the runner draws ceil(H/64) uint64 words, and bit c of the stage's
+// salt decides every conflict at cell c — set means the packet arriving
+// on the odd inlink wins, clear the even one. A conflict is always
+// between the cell's two inlinks, whose parities differ, so one salt
+// bit per cell resolves it without order dependence, and the draw
+// happens whether or not a conflict occurs, keeping the stream
+// consumption a pure function of the stage count. An attached fault
+// state is honored: dead switches and severed links kill packets
 // (counted in FaultDropped), stuck switches force the crossbar and the
 // misrouted packet is dropped downstream when its destination becomes
 // unreachable.
@@ -124,22 +133,22 @@ func (r *WaveRunner) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
 	}
 	res.Offered = len(pkts)
 	claimed := r.claimed[:f.N]
+	salt := r.salt
 	for s := 0; s < f.Spans; s++ {
+		// The stage's tie-break salt is drawn unconditionally (the
+		// bit-sliced kernel shares this exact stream shape).
+		for i := range salt {
+			salt[i] = rng.Uint64()
+		}
 		for i := range claimed {
 			claimed[i] = -1
 		}
-		// First pass: claims with fair tie-breaking. Iterate in random
-		// order so neither low inputs nor early arrivals are favored.
-		order := r.order[:len(pkts)]
-		for i := range order {
-			order[i] = int32(i)
-		}
-		for i := len(order) - 1; i > 0; i-- {
-			j := rng.IntN(i + 1)
-			order[i], order[j] = order[j], order[i]
-		}
-		for _, idx := range order {
-			p := pkts[idx]
+		// Claim pass. The winner of a contended output is decided by the
+		// cell's salt bit (inlink parity), not by arrival order, so the
+		// scan order is immaterial and no shuffle is needed: a later
+		// salt-favored packet evicts the earlier claimant.
+		for idx := range pkts {
+			p := &pkts[idx]
 			cell := p.link >> 1
 			pt := f.steer(r.faults, s, int(cell), p.dst)
 			if pt >= portFaulted {
@@ -149,18 +158,25 @@ func (r *WaveRunner) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
 				if pt == portFaulted {
 					res.FaultDropped++
 				}
-				pkts[idx].dst = -1
+				p.dst = -1
 				continue
 			}
 			out := cell<<1 | uint64(pt)
-			if claimed[out] >= 0 {
+			if other := claimed[out]; other >= 0 {
 				res.DropStage[s]++
 				res.Dropped++
-				pkts[idx].dst = -1
+				win := salt[cell>>6] >> (cell & 63) & 1
+				if p.link&1 == win {
+					pkts[other].dst = -1
+					claimed[out] = int32(idx)
+					p.link = out
+				} else {
+					p.dst = -1
+				}
 				continue
 			}
-			claimed[out] = idx
-			pkts[idx].link = out
+			claimed[out] = int32(idx)
+			p.link = out
 		}
 		keep := pkts[:0]
 		for _, p := range pkts {

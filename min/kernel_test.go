@@ -1,0 +1,34 @@
+package min
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWithKernel: kernel selection is a pure performance knob — every
+// kernel produces the identical WaveStats — and misuse fails loudly.
+func TestWithKernel(t *testing.T) {
+	nw := MustBuild(Omega, 5)
+	ctx := context.Background()
+	base, err := Simulate(ctx, nw, WithWaves(130), WithSeed(3), WithKernel(KernelScalar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kernel{KernelAuto, KernelBit} {
+		got, err := Simulate(ctx, nw, WithWaves(130), WithSeed(3), WithKernel(k))
+		if err != nil {
+			t.Fatalf("kernel %q: %v", k, err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("kernel %q changed results:\n%+v\n%+v", k, got, base)
+		}
+	}
+	if _, err := Simulate(ctx, nw, WithKernel("simd")); err == nil || !strings.Contains(err.Error(), "kernel") {
+		t.Fatalf("unknown kernel: err = %v", err)
+	}
+	if _, err := SimulateBuffered(ctx, nw, WithKernel(KernelScalar)); err == nil || !strings.Contains(err.Error(), "WithKernel") {
+		t.Fatalf("WithKernel on the buffered model: err = %v", err)
+	}
+}

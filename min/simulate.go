@@ -81,6 +81,24 @@ const (
 	ArbiterRoundRobin Arbiter = "roundrobin" // loser holds priority next time
 )
 
+// Kernel names the wave-model executor. The kernels are byte-identical
+// per trial stream — KernelBit steers 64 Monte Carlo waves per machine
+// word as uint64 bit-planes, KernelScalar walks packets one by one —
+// so the choice affects only throughput, never results.
+type Kernel string
+
+const (
+	// KernelAuto (the default) uses the bit-sliced kernel whenever the
+	// network qualifies (Banyan unique-path wiring, at most 16 stages;
+	// all six of the paper's networks do) and falls back to scalar.
+	KernelAuto Kernel = "auto"
+	// KernelScalar forces the one-packet-at-a-time reference kernel.
+	KernelScalar Kernel = "scalar"
+	// KernelBit forces the bit-sliced kernel; Simulate fails when the
+	// network does not qualify rather than silently degrading.
+	KernelBit Kernel = "bit"
+)
+
 // LaneSelect names the lane-choice policy on enqueue in the buffered
 // model.
 type LaneSelect string
@@ -102,7 +120,8 @@ type simOptions struct {
 	params   sim.ScenarioParams
 	faults   *FaultPlan
 
-	waves int // wave model
+	waves  int    // wave model
+	kernel Kernel // wave model
 
 	reps, queue, lanes, cycles, warmup int // buffered model
 	arbiter                            Arbiter
@@ -117,6 +136,7 @@ func defaultSimOptions() simOptions {
 		scenario: "uniform",
 		params:   sim.DefaultScenarioParams(),
 		waves:    500,
+		kernel:   KernelAuto,
 		reps:     1, queue: 4, lanes: 1, cycles: 5000, warmup: 500,
 		arbiter: ArbiterRandom, laneSelect: LaneShortest,
 	}
@@ -170,6 +190,14 @@ func WithFaults(p FaultPlan) Option {
 // WithWaves sets the number of independent waves (wave model only).
 func WithWaves(n int) Option {
 	return func(o *simOptions) { o.waves = n; o.waveOnly = append(o.waveOnly, "WithWaves") }
+}
+
+// WithKernel selects the wave-model executor (wave model only); see
+// Kernel. The default KernelAuto needs no configuration — use this to
+// force the scalar oracle or to fail fast when the bit-sliced kernel
+// is expected but the network does not qualify.
+func WithKernel(k Kernel) Option {
+	return func(o *simOptions) { o.kernel = k; o.waveOnly = append(o.waveOnly, "WithKernel") }
 }
 
 // WithReplications sets the number of independent replications
@@ -273,6 +301,10 @@ func Simulate(ctx context.Context, nw *Network, opts ...Option) (WaveStats, erro
 	cfg, err := o.engineConfig()
 	if err != nil {
 		return WaveStats{}, err
+	}
+	cfg.Kernel, err = engine.ParseKernel(string(o.kernel))
+	if err != nil {
+		return WaveStats{}, fmt.Errorf(`min: unknown kernel %q (want "auto", "scalar" or "bit")`, o.kernel)
 	}
 	st, err := engine.RunWaves(ctx, f, tr, o.waves, cfg)
 	if err != nil {

@@ -23,18 +23,28 @@ type CacheStats struct {
 // body, so two requests that build the same wiring — by catalog name or
 // by explicit permutations — share an entry, and a hit replays the
 // exact bytes a cold run would have produced.
+//
+// Each entry additionally remembers the first raw request body that
+// produced it, per endpoint, in a lookaside index: a repeat of the
+// exact byte sequence replays the response without JSON decoding, key
+// rendering, or even building the network. The index is bounded by the
+// LRU itself (one raw body per entry, each capped by MaxBodyBytes) and
+// is pruned on eviction.
 type responseCache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
+	raw      map[string]map[string]*list.Element // endpoint -> raw body -> entry
 	hits     uint64
 	misses   uint64
 }
 
 type cacheEntry struct {
-	key  string
-	body []byte
+	key      string
+	body     []byte
+	endpoint string // raw-lookaside index coordinates; "" when unindexed
+	raw      string
 }
 
 // newResponseCache returns a cache bounded to capacity entries, or nil
@@ -47,6 +57,7 @@ func newResponseCache(capacity int) *responseCache {
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element, capacity),
+		raw:      make(map[string]map[string]*list.Element),
 	}
 }
 
@@ -65,22 +76,65 @@ func (c *responseCache) get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
+// getRaw answers from the raw-request lookaside. A miss here is not
+// counted: the caller falls through to the canonical get, which does
+// the accounting, so totals match the pre-lookaside behaviour. The
+// body-keyed map lookup compiles to a no-copy string conversion.
+func (c *responseCache) getRaw(endpoint string, body []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.raw[endpoint][string(body)]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
 // put stores body under key, evicting from the least-recently-used end
-// once the bound is reached.
-func (c *responseCache) put(key string, body []byte) {
+// once the bound is reached. When rawBody is non-nil and the entry is
+// not yet raw-indexed, the bytes are copied into the endpoint's
+// lookaside so an identical future request can skip parsing entirely.
+func (c *responseCache) put(key, endpoint string, rawBody, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.body = body
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).body = body
+		c.indexRaw(el, endpoint, rawBody)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	el := c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.items[key] = el
+	c.indexRaw(el, endpoint, rawBody)
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.items, e.key)
+		if e.raw != "" {
+			delete(c.raw[e.endpoint], e.raw)
+		}
 	}
+}
+
+// indexRaw records el under the endpoint's raw lookaside (first raw
+// form wins; later spellings of the same request just miss the fast
+// path). Callers hold c.mu.
+func (c *responseCache) indexRaw(el *list.Element, endpoint string, rawBody []byte) {
+	e := el.Value.(*cacheEntry)
+	if rawBody == nil || e.raw != "" {
+		return
+	}
+	m := c.raw[endpoint]
+	if m == nil {
+		m = make(map[string]*list.Element)
+		c.raw[endpoint] = m
+	}
+	e.endpoint, e.raw = endpoint, string(rawBody)
+	m[e.raw] = el
 }
 
 // stats snapshots the counters.
@@ -104,25 +158,38 @@ func encodeJSON(v any) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// Shared header value slices, assigned into the header map directly:
+// Header().Set allocates a fresh one-element slice per call, which is
+// the only allocation a fully warm hit would otherwise make in the
+// writer. The slices are never mutated. Keys are in canonical form.
+var (
+	headerJSON = []string{"application/json"}
+	headerHit  = []string{"HIT"}
+	headerMiss = []string{"MISS"}
+)
+
 // writeJSONBytes writes a pre-rendered JSON body. xCache stamps the
-// X-Cache header (HIT or MISS) on cacheable endpoints; headers do not
-// participate in the byte-identity contract, only bodies do.
-func writeJSONBytes(w http.ResponseWriter, status int, body []byte, xCache string) {
-	w.Header().Set("Content-Type", "application/json")
-	if xCache != "" {
-		w.Header().Set("X-Cache", xCache)
+// X-Cache header (headerHit/headerMiss, nil to omit) on cacheable
+// endpoints; headers do not participate in the byte-identity contract,
+// only bodies do.
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte, xCache []string) {
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	if xCache != nil {
+		h["X-Cache"] = xCache
 	}
 	w.WriteHeader(status)
 	_, _ = w.Write(body)
 }
 
 // serveCached answers from the cache when possible; otherwise it runs
-// compute, caches the rendered body, and serves it. Only successful
-// responses are cached — errors stay on the uncached writeErr path.
-func (s *server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func() (any, error)) {
+// compute, caches the rendered body (raw-indexing it under rawBody when
+// non-nil), and serves it. Only successful responses are cached —
+// errors stay on the uncached writeErr path.
+func (s *server) serveCached(w http.ResponseWriter, r *http.Request, key, endpoint string, rawBody []byte, compute func() (any, error)) {
 	if s.cache != nil {
 		if body, ok := s.cache.get(key); ok {
-			writeJSONBytes(w, http.StatusOK, body, "HIT")
+			writeJSONBytes(w, http.StatusOK, body, headerHit)
 			return
 		}
 	}
@@ -137,9 +204,9 @@ func (s *server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		return
 	}
 	if s.cache != nil {
-		s.cache.put(key, body)
-		writeJSONBytes(w, http.StatusOK, body, "MISS")
+		s.cache.put(key, endpoint, rawBody, body)
+		writeJSONBytes(w, http.StatusOK, body, headerMiss)
 		return
 	}
-	writeJSONBytes(w, http.StatusOK, body, "")
+	writeJSONBytes(w, http.StatusOK, body, nil)
 }

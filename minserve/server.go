@@ -33,11 +33,13 @@
 package minserve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"minequiv/min"
@@ -97,7 +99,7 @@ func (c Config) withDefaults() Config {
 }
 
 // Version identifies the service build; /v1/healthz reports it.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 type server struct {
 	cfg   Config
@@ -192,6 +194,44 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
+// bodyPool recycles the read buffers of the cached endpoints: a warm
+// hit needs the raw bytes only for the lookaside probe, so the buffer
+// is returned as soon as the handler finishes.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBody slurps the request body into a pooled buffer under the
+// configured size limit. The returned bytes alias the pool buffer:
+// release must be called once they are no longer referenced, and
+// anything stored past the handler must copy them first (the cache's
+// raw index does).
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, func(), error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		bodyPool.Put(buf)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, nil, &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
+		}
+		return nil, nil, badRequest("invalid request body: %v", err)
+	}
+	return buf.Bytes(), func() { bodyPool.Put(buf) }, nil
+}
+
+// decodeBytes is decode over an in-memory body (same strictness).
+func decodeBytes(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("invalid request body: trailing data")
+	}
+	return nil
+}
+
 // networkSpec names or defines the network a request operates on:
 // either a catalog name (or "tail-cycle") with a stage count, or
 // explicit per-stage permutations.
@@ -267,8 +307,23 @@ type checkResponse struct {
 }
 
 func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	defer release()
+	// Fast path: a byte-identical repeat of an earlier successful
+	// request replays its response straight from the raw lookaside,
+	// skipping the JSON decode, the network build and the key render.
+	if s.cache != nil {
+		if cached, ok := s.cache.getRaw("check", body); ok {
+			writeJSONBytes(w, http.StatusOK, cached, headerHit)
+			return
+		}
+	}
 	var req checkRequest
-	if err := s.decode(w, r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		writeErr(w, r, err)
 		return
 	}
@@ -282,7 +337,7 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// in everything the body depends on: the wiring (canonical arc
 	// hash), the reported name/size, and the iso flag.
 	key := fmt.Sprintf("check|%016x|%s|%d|iso=%t", nw.Fingerprint(), nw.Name(), nw.Stages(), req.Iso)
-	s.serveCached(w, r, key, func() (any, error) {
+	s.serveCached(w, r, key, "check", body, func() (any, error) {
 		resp := checkResponse{Report: min.Check(nw)}
 		if req.Iso && resp.Report.Equivalent {
 			iso, err := min.Iso(nw)
@@ -354,8 +409,20 @@ type routeResponse struct {
 }
 
 func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	defer release()
+	if s.cache != nil {
+		if cached, ok := s.cache.getRaw("route", body); ok {
+			writeJSONBytes(w, http.StatusOK, cached, headerHit)
+			return
+		}
+	}
 	var req routeRequest
-	if err := s.decode(w, r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		writeErr(w, r, err)
 		return
 	}
@@ -387,7 +454,7 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("route|%016x|%s|%d|%v|%d>%d|faults=%+v",
 		nw.Fingerprint(), nw.Name(), nw.Stages(), thetas, req.Src, req.Dst, faults)
-	s.serveCached(w, r, key, func() (any, error) {
+	s.serveCached(w, r, key, "route", body, func() (any, error) {
 		if !faults.Empty() {
 			path, err := min.RouteUnderFaults(nw, req.Src, req.Dst, faults)
 			if err != nil {
@@ -428,7 +495,11 @@ type simulateRequest struct {
 	// stays a pure function of the request body.
 	Faults *min.FaultPlan `json:"faults,omitempty"`
 
-	Waves int `json:"waves,omitempty"` // wave model
+	// Wave-model fields. Kernel selects the executor ("auto" default,
+	// "scalar", "bit"); kernels are byte-identical per (seed, trial)
+	// stream, so responses never depend on the choice.
+	Waves  int    `json:"waves,omitempty"`
+	Kernel string `json:"kernel,omitempty"`
 
 	Replications int    `json:"replications,omitempty"` // buffered model
 	Queue        int    `json:"queue,omitempty"`
@@ -495,7 +566,12 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, r, badRequest("waves must be in [1,%d], got %d", s.cfg.MaxTrials, waves))
 			return
 		}
-		st, err := min.Simulate(r.Context(), nw, append(opts, min.WithWaves(waves))...)
+		kernel := min.Kernel(req.Kernel)
+		if req.Kernel == "" {
+			kernel = min.KernelAuto
+		}
+		st, err := min.Simulate(r.Context(), nw,
+			append(opts, min.WithWaves(waves), min.WithKernel(kernel))...)
 		if err != nil {
 			writeErr(w, r, err)
 			return
@@ -505,6 +581,10 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case "buffered":
 		if req.Waves != 0 {
 			writeErr(w, r, badRequest("waves is a wave-model field; buffered runs use cycles/replications"))
+			return
+		}
+		if req.Kernel != "" {
+			writeErr(w, r, badRequest("kernel selects the wave executor; the buffered model has no bit-sliced form"))
 			return
 		}
 		// Resolve defaults BEFORE checking the operator's limits, so an

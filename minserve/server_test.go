@@ -3,6 +3,7 @@ package minserve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -433,5 +434,35 @@ func TestSimulateWithFaults(t *testing.T) {
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("body %s: status %d, want 400", bad, rec.Code)
 		}
+	}
+}
+
+func TestSimulateKernelField(t *testing.T) {
+	h := newTestHandler()
+	const body = `{"network":"omega","stages":5,"waves":100,"seed":3,"kernel":%q}`
+	base := do(t, h, "POST", "/v1/simulate", fmt.Sprintf(body, "scalar"))
+	if base.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", base.Code, base.Body)
+	}
+	for _, k := range []string{"auto", "bit"} {
+		got := do(t, h, "POST", "/v1/simulate", fmt.Sprintf(body, k))
+		if got.Code != http.StatusOK {
+			t.Fatalf("kernel %q: status %d: %s", k, got.Code, got.Body)
+		}
+		if got.Body.String() != base.Body.String() {
+			t.Fatalf("kernel %q changed the response:\n%s\nvs\n%s", k, got.Body, base.Body)
+		}
+	}
+	// Omitting the field is kernel "auto".
+	plain := do(t, h, "POST", "/v1/simulate", `{"network":"omega","stages":5,"waves":100,"seed":3}`)
+	if plain.Body.String() != base.Body.String() {
+		t.Fatalf("default kernel diverged:\n%s\nvs\n%s", plain.Body, base.Body)
+	}
+	if rec := do(t, h, "POST", "/v1/simulate", fmt.Sprintf(body, "simd")); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown kernel: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "POST", "/v1/simulate",
+		`{"network":"omega","stages":4,"model":"buffered","cycles":100,"kernel":"bit"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("kernel on buffered model: status %d: %s", rec.Code, rec.Body)
 	}
 }
