@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -199,6 +200,71 @@ func BenchmarkServeCheckCached(b *testing.B) {
 			b.Fatal("expected a cache hit")
 		}
 	}
+}
+
+// BenchmarkServeBatchWarm: a warm 16-item check batch through
+// /v1/batch versus 16 sequential warm single calls — the amortization
+// the batch API exists for (one request parse, one admission slot, one
+// response write for N cache probes). The two sub-benchmarks report
+// ns per *item*, so batch/item must beat single/item by >= 2x.
+func BenchmarkServeBatchWarm(b *testing.B) {
+	const items = 16
+	bodies := make([]string, items)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"network":"indirect-binary-cube","stages":%d}`, 3+i%8)
+	}
+	var batch strings.Builder
+	batch.WriteString(`{"requests":[`)
+	for i, body := range bodies {
+		if i > 0 {
+			batch.WriteByte(',')
+		}
+		fmt.Fprintf(&batch, `{"op":"check","request":%s}`, body)
+	}
+	batch.WriteString(`]}`)
+	batchBody := batch.String()
+
+	newWarmHandler := func(b *testing.B) http.Handler {
+		h := minserve.NewHandler(minserve.Config{})
+		for _, body := range bodies {
+			req := httptest.NewRequest("POST", "/v1/check", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("warm: %s", rec.Body.String())
+			}
+		}
+		return h
+	}
+
+	b.Run("single/item", func(b *testing.B) {
+		h := newWarmHandler(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := bodies[i%items]
+			req := httptest.NewRequest("POST", "/v1/check", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatal("single failed")
+			}
+		}
+	})
+	b.Run("batch/item", func(b *testing.B) {
+		h := newWarmHandler(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		// Each iteration serves `items` requests; report per-item cost.
+		for i := 0; i < b.N; i += items {
+			req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(batchBody))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatal("batch failed")
+			}
+		}
+	})
 }
 
 // BenchmarkCounterexampleCheck (T6): characterization check rejecting

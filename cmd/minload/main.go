@@ -1,0 +1,677 @@
+// Command minload drives load against a minserve instance — over the
+// network or fully in-process — and reports served RPS and latency
+// percentiles as JSON, the serving-plane analogue of the kernel
+// BENCH_*.json reports.
+//
+// Two modes:
+//
+//   - Closed loop (default): -conns workers issue requests
+//     back-to-back; served RPS is the capacity of the box at that
+//     concurrency.
+//   - Open loop (-rps N, optionally -ramp A:B): arrivals are generated
+//     at the target rate independent of completions, the honest way to
+//     measure latency under offered load; arrivals that find every
+//     worker busy are counted as dropped, not silently coalesced.
+//
+// The workload is a weighted mix of check/route/simulate/batch
+// requests (-mix), rotated over -distinct parameter variants so the
+// response cache sees a realistic hit pattern rather than one hot key.
+//
+// Cross-machine comparability: the report embeds refCheckUs, the
+// median serial latency of a warm /v1/check on this host, measured
+// before the run. Gating against a committed baseline (-baseline)
+// scales both served RPS and p99 by the refCheckUs ratio, so CI fails
+// on real serving regressions, not on slower runners.
+//
+// Usage:
+//
+//	minload -inprocess -duration 5s -conns 8 -o BENCH_SERVE_7.json
+//	minload -addr localhost:8080 -rps 2000 -ramp 500:4000 -duration 30s
+//	minload -inprocess -baseline BENCH_SERVE_7.json -max-regress 20 -lint-metrics
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minequiv/minserve"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "minload:", err)
+		os.Exit(1)
+	}
+}
+
+// --- latency histogram ----------------------------------------------
+
+// histGrowth is the geometric bucket ratio: 256 buckets starting at
+// 1µs cover ~1µs to ~31s at <7% relative error, enough resolution for
+// percentile reporting without per-sample storage.
+const (
+	histBuckets = 256
+	histGrowth  = 1.07
+)
+
+// hist is a per-worker latency histogram; workers own one each (no
+// sharing, no locks) and the main goroutine merges after the run.
+type hist struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sumUs   float64
+	maxUs   float64
+}
+
+var histLog = math.Log(histGrowth)
+
+func (h *hist) add(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	h.count++
+	h.sumUs += us
+	if us > h.maxUs {
+		h.maxUs = us
+	}
+	idx := 0
+	if us > 1 {
+		idx = int(math.Log(us) / histLog)
+		if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.buckets[idx]++
+}
+
+func (h *hist) merge(o *hist) {
+	for i := range o.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sumUs += o.sumUs
+	if o.maxUs > h.maxUs {
+		h.maxUs = o.maxUs
+	}
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// sample — a ≤7% overestimate, consistently applied.
+func (h *hist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > target {
+			return math.Pow(histGrowth, float64(i+1))
+		}
+	}
+	return h.maxUs
+}
+
+// --- workload -------------------------------------------------------
+
+// op is one request template: path plus a rotation of bodies.
+type op struct {
+	name   string
+	weight float64
+	bodies []string
+}
+
+// buildMix parses "check=0.55,route=0.25,simulate=0.1,batch=0.1" into
+// weighted ops with -distinct body variants each.
+func buildMix(spec string, stages, waves, distinct int) ([]op, error) {
+	if distinct < 1 {
+		distinct = 1
+	}
+	networks := []string{"omega", "baseline", "indirect-binary-cube", "flip"}
+	checkBody := func(i int) string {
+		st := 3 + i%(stages-2)
+		return fmt.Sprintf(`{"network":%q,"stages":%d}`, networks[i%len(networks)], st)
+	}
+	bodies := func(gen func(int) string) []string {
+		out := make([]string, distinct)
+		for i := range out {
+			out[i] = gen(i)
+		}
+		return out
+	}
+	gens := map[string]func(int) string{
+		"check": checkBody,
+		"route": func(i int) string {
+			st := 3 + i%(stages-2)
+			n := 1 << st
+			return fmt.Sprintf(`{"network":%q,"stages":%d,"src":%d,"dst":%d}`,
+				networks[i%len(networks)], st, i%n, (i*7+3)%n)
+		},
+		"simulate": func(i int) string {
+			st := 3 + i%(stages-2)
+			return fmt.Sprintf(`{"network":%q,"stages":%d,"waves":%d,"seed":%d}`,
+				networks[i%len(networks)], st, waves, i+1)
+		},
+		"batch": func(i int) string {
+			var items []string
+			for j := 0; j < 4; j++ {
+				items = append(items, fmt.Sprintf(`{"op":"check","request":%s}`, checkBody(i*4+j)))
+			}
+			return `{"requests":[` + strings.Join(items, ",") + `]}`
+		},
+	}
+	var ops []op
+	for _, part := range strings.Split(spec, ",") {
+		name, wstr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want op=weight", part)
+		}
+		w, err := strconv.ParseFloat(wstr, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: bad weight", part)
+		}
+		gen, ok := gens[name]
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: unknown op (check, route, simulate, batch)", part)
+		}
+		if w == 0 {
+			continue
+		}
+		ops = append(ops, op{name: name, weight: w, bodies: bodies(gen)})
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("empty mix %q", spec)
+	}
+	total := 0.0
+	for i := range ops {
+		total += ops[i].weight
+	}
+	for i := range ops {
+		ops[i].weight /= total
+	}
+	return ops, nil
+}
+
+// pick selects an op by weight from r.
+func pick(ops []op, r *rand.Rand) *op {
+	x := r.Float64()
+	for i := range ops {
+		if x < ops[i].weight {
+			return &ops[i]
+		}
+		x -= ops[i].weight
+	}
+	return &ops[len(ops)-1]
+}
+
+// --- dispatch -------------------------------------------------------
+
+// target abstracts where requests go: a live server over TCP or the
+// handler called in-process (no sockets, no syscalls — the same mode
+// the CI serving-bench job uses, so runner networking never skews the
+// gate).
+type target interface {
+	post(path, body string) (status int, err error)
+	get(path string) (status int, body []byte, err error)
+}
+
+type httpTarget struct {
+	base   string
+	client *http.Client
+}
+
+func (t *httpTarget) post(path, body string) (int, error) {
+	resp, err := t.client.Post(t.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func (t *httpTarget) get(path string) (int, []byte, error) {
+	resp, err := t.client.Get(t.base + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
+}
+
+// nullWriter is the in-process ResponseWriter: it keeps the status and
+// discards the body (the generator measures the server, not itself).
+type nullWriter struct {
+	h      http.Header
+	status int
+	n      int64
+}
+
+func (w *nullWriter) Header() http.Header { return w.h }
+func (w *nullWriter) WriteHeader(s int) {
+	if w.status == 0 {
+		w.status = s
+	}
+}
+func (w *nullWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+type inprocTarget struct {
+	h http.Handler
+}
+
+func (t *inprocTarget) dispatch(method, path, body string) *nullWriter {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, _ := http.NewRequest(method, "http://minload"+path, rd)
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+		req.ContentLength = int64(len(body))
+	}
+	w := &nullWriter{h: make(http.Header)}
+	t.h.ServeHTTP(w, req)
+	return w
+}
+
+func (t *inprocTarget) post(path, body string) (int, error) {
+	return t.dispatch("POST", path, body).status, nil
+}
+
+func (t *inprocTarget) get(path string) (int, []byte, error) {
+	var buf bytes.Buffer
+	req, _ := http.NewRequest("GET", "http://minload"+path, nil)
+	rec := &captureWriter{h: make(http.Header), body: &buf}
+	t.h.ServeHTTP(rec, req)
+	return rec.status, buf.Bytes(), nil
+}
+
+type captureWriter struct {
+	h      http.Header
+	status int
+	body   *bytes.Buffer
+}
+
+func (w *captureWriter) Header() http.Header { return w.h }
+func (w *captureWriter) WriteHeader(s int) {
+	if w.status == 0 {
+		w.status = s
+	}
+}
+func (w *captureWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.body.Write(p)
+}
+
+// --- report ---------------------------------------------------------
+
+type latencyReport struct {
+	P50Us  float64 `json:"p50Us"`
+	P90Us  float64 `json:"p90Us"`
+	P99Us  float64 `json:"p99Us"`
+	MeanUs float64 `json:"meanUs"`
+	MaxUs  float64 `json:"maxUs"`
+}
+
+// report is the committed/gated artifact (BENCH_SERVE_7.json).
+type report struct {
+	Mode        string        `json:"mode"` // "closed" or "open"
+	Mix         string        `json:"mix"`
+	Conns       int           `json:"conns"`
+	DurationSec float64       `json:"durationSec"`
+	RefCheckUs  float64       `json:"refCheckUs"`
+	Requests    uint64        `json:"requests"`
+	Errors      uint64        `json:"errors"`
+	Shed        uint64        `json:"shed"`
+	Dropped     uint64        `json:"dropped,omitempty"` // open loop only
+	OfferedRPS  float64       `json:"offeredRPS,omitempty"`
+	ServedRPS   float64       `json:"servedRPS"`
+	Latency     latencyReport `json:"latency"`
+}
+
+// --- main loop ------------------------------------------------------
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("minload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "target host:port (mutually exclusive with -inprocess)")
+	inproc := fs.Bool("inprocess", false, "drive an in-process minserve handler (no sockets)")
+	duration := fs.Duration("duration", 10*time.Second, "measured run length (after warmup)")
+	warmup := fs.Duration("warmup", time.Second, "unmeasured warmup length")
+	rps := fs.Float64("rps", 0, "open-loop target arrival rate (0 = closed loop)")
+	ramp := fs.String("ramp", "", "open-loop rate ramp start:end over the run (overrides -rps)")
+	conns := fs.Int("conns", 8, "concurrent workers (closed loop) / max outstanding (open loop)")
+	mixSpec := fs.String("mix", "check=0.55,route=0.25,simulate=0.1,batch=0.1", "weighted op mix")
+	stages := fs.Int("stages", 6, "largest network stages in the generated workload")
+	waves := fs.Int("waves", 32, "waves per generated simulate request")
+	distinct := fs.Int("distinct", 16, "distinct request variants per op (cache realism)")
+	seed := fs.Int64("seed", 1, "workload selection seed")
+	out := fs.String("o", "", "write the JSON report here (default stdout only)")
+	baseline := fs.String("baseline", "", "gate against this committed report")
+	maxRegress := fs.Float64("max-regress", 20, "allowed served-RPS/p99 regression vs baseline, percent")
+	lintMetrics := fs.Bool("lint-metrics", false, "fetch /metrics after the run and lint the exposition")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *stages < 3 {
+		return fmt.Errorf("-stages must be >= 3")
+	}
+	if (*addr == "") == !*inproc {
+		return fmt.Errorf("exactly one of -addr or -inprocess is required")
+	}
+
+	var tgt target
+	if *inproc {
+		tgt = &inprocTarget{h: minserve.NewHandler(minserve.Config{})}
+	} else {
+		tgt = &httpTarget{
+			base: "http://" + *addr,
+			client: &http.Client{
+				Transport: &http.Transport{MaxIdleConnsPerHost: *conns * 2},
+				Timeout:   30 * time.Second,
+			},
+		}
+	}
+
+	ops, err := buildMix(*mixSpec, *stages, *waves, *distinct)
+	if err != nil {
+		return err
+	}
+
+	// Calibration: median serial warm-check latency, for cross-machine
+	// normalization of the committed baseline.
+	refUs, err := calibrate(tgt)
+	if err != nil {
+		return fmt.Errorf("calibration: %w", err)
+	}
+
+	rep := report{
+		Mix:        *mixSpec,
+		Conns:      *conns,
+		RefCheckUs: refUs,
+	}
+
+	rampStart, rampEnd := *rps, *rps
+	if *ramp != "" {
+		a, b, ok := strings.Cut(*ramp, ":")
+		if !ok {
+			return fmt.Errorf("-ramp wants start:end")
+		}
+		if rampStart, err = strconv.ParseFloat(a, 64); err != nil {
+			return fmt.Errorf("-ramp start: %w", err)
+		}
+		if rampEnd, err = strconv.ParseFloat(b, 64); err != nil {
+			return fmt.Errorf("-ramp end: %w", err)
+		}
+	}
+	open := rampStart > 0 || rampEnd > 0
+
+	// Warmup: unmeasured closed-loop traffic primes the cache and the
+	// runtime.
+	if *warmup > 0 {
+		warmCtx, cancel := context.WithTimeout(ctx, *warmup)
+		runClosed(warmCtx, tgt, ops, *conns, *seed+1, nil, nil)
+		cancel()
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+	var (
+		merged   hist
+		requests uint64
+		errsN    uint64
+		shed     uint64
+		dropped  uint64
+		elapsed  time.Duration
+	)
+	startT := time.Now()
+	if open {
+		rep.Mode = "open"
+		requests, errsN, shed, dropped = runOpen(runCtx, tgt, ops, *conns, *seed, rampStart, rampEnd, *duration, &merged)
+		offered := (rampStart + rampEnd) / 2
+		rep.OfferedRPS = offered
+		rep.Dropped = dropped
+	} else {
+		rep.Mode = "closed"
+		var errCount, shedCount atomic.Uint64
+		requests = runClosed(runCtx, tgt, ops, *conns, *seed, &merged, func(status int) {
+			switch {
+			case status == http.StatusTooManyRequests:
+				shedCount.Add(1)
+			case status >= 400:
+				errCount.Add(1)
+			}
+		})
+		errsN, shed = errCount.Load(), shedCount.Load()
+	}
+	elapsed = time.Since(startT)
+
+	rep.DurationSec = elapsed.Seconds()
+	rep.Requests = requests
+	rep.Errors = errsN
+	rep.Shed = shed
+	rep.ServedRPS = float64(requests-errsN-shed) / elapsed.Seconds()
+	rep.Latency = latencyReport{
+		P50Us:  merged.quantile(0.50),
+		P90Us:  merged.quantile(0.90),
+		P99Us:  merged.quantile(0.99),
+		MeanUs: merged.sumUs / math.Max(1, float64(merged.count)),
+		MaxUs:  merged.maxUs,
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *out != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *lintMetrics {
+		status, text, err := tgt.get("/metrics")
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("fetch /metrics: status %d err %v", status, err)
+		}
+		if err := minserve.LintExposition(text); err != nil {
+			return fmt.Errorf("metrics lint: %w", err)
+		}
+		fmt.Fprintln(w, "minload: /metrics exposition lint-clean")
+	}
+
+	if *baseline != "" {
+		if err := gate(w, rep, *baseline, *maxRegress); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// calibrate measures the median serial latency of a warm /v1/check.
+func calibrate(tgt target) (float64, error) {
+	const body = `{"network":"omega","stages":4}`
+	// Warm the cache first.
+	for i := 0; i < 10; i++ {
+		if status, err := tgt.post("/v1/check", body); err != nil || status != http.StatusOK {
+			return 0, fmt.Errorf("warm check: status %d err %v", status, err)
+		}
+	}
+	samples := make([]float64, 300)
+	for i := range samples {
+		start := time.Now()
+		if _, err := tgt.post("/v1/check", body); err != nil {
+			return 0, err
+		}
+		samples[i] = float64(time.Since(start)) / float64(time.Microsecond)
+	}
+	sort.Float64s(samples)
+	return samples[len(samples)/2], nil
+}
+
+// runClosed drives conns workers back-to-back until ctx expires.
+// h (merged histogram) and onStatus may be nil (warmup).
+func runClosed(ctx context.Context, tgt target, ops []op, conns int, seed int64, h *hist, onStatus func(int)) uint64 {
+	var total atomic.Uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			local := &hist{}
+			n := uint64(0)
+			for ctx.Err() == nil {
+				o := pick(ops, rng)
+				body := o.bodies[rng.Intn(len(o.bodies))]
+				start := time.Now()
+				status, err := tgt.post("/v1/"+o.name, body)
+				if err != nil {
+					status = 0
+				}
+				local.add(time.Since(start))
+				n++
+				if onStatus != nil {
+					if err != nil {
+						onStatus(599)
+					} else {
+						onStatus(status)
+					}
+				}
+			}
+			total.Add(n)
+			if h != nil {
+				mu.Lock()
+				h.merge(local)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+// runOpen generates arrivals at the (possibly ramping) target rate on
+// a central pacer; conns workers consume them. Arrivals that find the
+// queue full are dropped and counted — open-loop honesty: a saturated
+// server must not slow the arrival process down.
+func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, rateStart, rateEnd float64, dur time.Duration, h *hist) (requests, errsN, shed, dropped uint64) {
+	type job struct{ path, body string }
+	queue := make(chan job, conns*2)
+	var errCount, shedCount, dropCount, total atomic.Uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := &hist{}
+			for j := range queue {
+				start := time.Now()
+				status, err := tgt.post(j.path, j.body)
+				local.add(time.Since(start))
+				total.Add(1)
+				switch {
+				case err != nil:
+					errCount.Add(1)
+				case status == http.StatusTooManyRequests:
+					shedCount.Add(1)
+				case status >= 400:
+					errCount.Add(1)
+				}
+			}
+			mu.Lock()
+			h.merge(local)
+			mu.Unlock()
+		}(c)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	for ctx.Err() == nil {
+		frac := float64(time.Since(start)) / float64(dur)
+		if frac > 1 {
+			frac = 1
+		}
+		rate := rateStart + (rateEnd-rateStart)*frac
+		if rate <= 0 {
+			rate = 1
+		}
+		interval := time.Duration(float64(time.Second) / rate)
+		o := pick(ops, rng)
+		j := job{path: "/v1/" + o.name, body: o.bodies[rng.Intn(len(o.bodies))]}
+		select {
+		case queue <- j:
+		default:
+			dropCount.Add(1)
+		}
+		timer := time.NewTimer(interval)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+		}
+	}
+	close(queue)
+	wg.Wait()
+	return total.Load(), errCount.Load(), shedCount.Load(), dropCount.Load()
+}
+
+// gate compares the run against a committed baseline, normalized by
+// the refCheckUs ratio so a slower runner is not a false regression.
+func gate(w io.Writer, cur report, baselinePath string, maxRegress float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if base.RefCheckUs <= 0 || cur.RefCheckUs <= 0 {
+		return fmt.Errorf("baseline gating needs refCheckUs on both sides")
+	}
+	// speed > 1: this machine is faster than the baseline's.
+	speed := base.RefCheckUs / cur.RefCheckUs
+	normServed := cur.ServedRPS / speed
+	normP99 := cur.Latency.P99Us * speed
+	fmt.Fprintf(w, "minload: baseline gate (speed ratio %.2f): servedRPS %.0f (norm %.0f, floor %.0f), p99 %.0fus (norm %.0f, ceil %.0f)\n",
+		speed, cur.ServedRPS, normServed, base.ServedRPS*(1-maxRegress/100),
+		cur.Latency.P99Us, normP99, base.Latency.P99Us*(1+maxRegress/100))
+	if normServed < base.ServedRPS*(1-maxRegress/100) {
+		return fmt.Errorf("served RPS regression: normalized %.0f < %.0f (baseline %.0f - %.0f%%)",
+			normServed, base.ServedRPS*(1-maxRegress/100), base.ServedRPS, maxRegress)
+	}
+	if normP99 > base.Latency.P99Us*(1+maxRegress/100) {
+		return fmt.Errorf("p99 regression: normalized %.0fus > %.0fus (baseline %.0f + %.0f%%)",
+			normP99, base.Latency.P99Us*(1+maxRegress/100), base.Latency.P99Us, maxRegress)
+	}
+	fmt.Fprintln(w, "minload: within baseline envelope")
+	return nil
+}

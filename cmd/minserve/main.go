@@ -47,6 +47,12 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	maxTrials := fs.Int("max-trials", 100000, "largest accepted waves/replications count")
 	maxCycles := fs.Int("max-cycles", 200000, "largest accepted cycles+warmup per replication")
 	maxFaults := fs.Int("max-faults", 256, "largest accepted pinned-fault list per request")
+	maxBatch := fs.Int("max-batch", 64, "largest accepted /v1/batch item count")
+	cacheEntries := fs.Int("cache-entries", 256, "response cache capacity (negative disables)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "admitted work requests executing at once (0 = GOMAXPROCS, negative disables admission)")
+	maxQueue := fs.Int("max-queue", 64, "work requests allowed to wait for a slot (negative: shed immediately)")
+	queueWait := fs.Duration("queue-wait", time.Second, "longest one request may wait in the queue")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline, queue wait included (0 disables)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,11 +64,17 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	srv := &http.Server{
 		Handler: minserve.NewHandler(minserve.Config{
-			MaxBodyBytes: *maxBody,
-			MaxStages:    *maxStages,
-			MaxTrials:    *maxTrials,
-			MaxCycles:    *maxCycles,
-			MaxFaults:    *maxFaults,
+			MaxBodyBytes:   *maxBody,
+			MaxStages:      *maxStages,
+			MaxTrials:      *maxTrials,
+			MaxCycles:      *maxCycles,
+			MaxFaults:      *maxFaults,
+			MaxBatch:       *maxBatch,
+			CacheEntries:   *cacheEntries,
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueueDepth:  *maxQueue,
+			QueueWait:      *queueWait,
+			RequestTimeout: *reqTimeout,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		// No WriteTimeout: long simulations are legitimate; the request

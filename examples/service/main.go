@@ -105,7 +105,7 @@ func main() {
 
 	// 7. Check responses are cached by topology: repeating a request is
 	// served from the LRU (byte-identical to the cold run, X-Cache: HIT)
-	// and /v1/stats exposes the counters.
+	// and /v1/healthz carries the counters.
 	checkBody := `{"network":"baseline","stages":5}`
 	cold, err := http.Post(base+"/v1/check", "application/json", strings.NewReader(checkBody))
 	if err != nil {
@@ -119,16 +119,84 @@ func main() {
 	}
 	io.Copy(io.Discard, warm.Body)
 	warm.Body.Close()
-	var stats struct {
+	var health2 struct {
 		Cache struct {
 			Hits   uint64 `json:"hits"`
 			Misses uint64 `json:"misses"`
 		} `json:"cache"`
 	}
-	getJSON(base+"/v1/stats", &stats)
-	fmt.Printf("check twice: X-Cache %s then %s; cache counters hits=%d misses=%d\n",
+	getJSON(base+"/v1/healthz", &health2)
+	fmt.Printf("check twice: X-Cache %s then %s; cache counters hits=%d misses=%d\n\n",
 		cold.Header.Get("X-Cache"), warm.Header.Get("X-Cache"),
-		stats.Cache.Hits, stats.Cache.Misses)
+		health2.Cache.Hits, health2.Cache.Misses)
+
+	// 8. Batch: N heterogeneous sub-requests in one round trip, answered
+	// positionally with per-item cache attribution. Each "body" is
+	// byte-identical to what the single endpoint would have returned.
+	var batch struct {
+		Responses []struct {
+			Op     string          `json:"op"`
+			Status int             `json:"status"`
+			Cache  string          `json:"cache"`
+			Body   json.RawMessage `json:"body"`
+		} `json:"responses"`
+	}
+	postJSON(base+"/v1/batch", `{"requests":[`+
+		`{"op":"check","request":{"network":"baseline","stages":5}},`+
+		`{"op":"route","request":{"network":"omega","stages":4,"src":1,"dst":9}},`+
+		`{"op":"check","request":{"network":"nope","stages":4}}]}`, &batch)
+	fmt.Println("batch of 3:")
+	for i, item := range batch.Responses {
+		attr := ""
+		if item.Cache != "" {
+			attr = " cache=" + item.Cache
+		}
+		fmt.Printf("  [%d] %-5s status=%d%s (%d body bytes)\n",
+			i, item.Op, item.Status, attr, len(item.Body))
+	}
+	fmt.Println()
+
+	// 9. Errors carry stable machine-readable codes — the third batch
+	// item above failed positionally; a direct call shows the envelope.
+	resp, err := http.Post(base+"/v1/check", "application/json",
+		strings.NewReader(`{"network":"nope","stages":4}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var werr struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	_ = json.Unmarshal(raw, &werr)
+	fmt.Printf("error envelope: HTTP %d code=%s (%s)\n\n",
+		resp.StatusCode, werr.Error.Code, werr.Error.Message)
+
+	// 10. The serving limits are discoverable, and /metrics exposes the
+	// whole serving plane as Prometheus text.
+	var limits struct {
+		MaxBatch      int `json:"maxBatch"`
+		MaxConcurrent int `json:"maxConcurrent"`
+		MaxQueueDepth int `json:"maxQueueDepth"`
+	}
+	getJSON(base+"/v1/limits", &limits)
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mtext, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	families := 0
+	for _, line := range strings.Split(string(mtext), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families++
+		}
+	}
+	fmt.Printf("limits: maxBatch=%d maxConcurrent=%d maxQueueDepth=%d; /metrics serves %d families\n",
+		limits.MaxBatch, limits.MaxConcurrent, limits.MaxQueueDepth, families)
 }
 
 func getJSON(url string, v any) {

@@ -1,0 +1,149 @@
+package minserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// POST /v1/batch: up to Config.MaxBatch heterogeneous sub-requests in
+// one body, answered positionally. One batch costs one HTTP round
+// trip, one admission slot, one body read and one response write for N
+// operations — and each sub-request still probes the same response
+// cache (including the raw-body lookaside) as its single-call twin, so
+// warm check/route batches amortize to a map probe plus a memcpy per
+// item.
+//
+// Wire format:
+//
+//	request:  {"requests":[{"op":"check","request":{...}}, ...]}
+//	response: {"responses":[{"op":"check","status":200,"cache":"hit","body":{...}}, ...]}
+//
+// Determinism contract: every sub-response "body" is byte-identical to
+// the body the single endpoint returns for the same sub-request bytes,
+// and the envelope itself is a pure function of (request, cache state)
+// — the per-item "cache" field (present on check/route only) reports
+// hit or miss exactly as the X-Cache header would have. Sub-request
+// errors do not fail the batch; they surface positionally with their
+// own status and structured error body. The batch response is never
+// cached as a unit — its items already were.
+
+// batchItem is one sub-request: the operation and its verbatim single-
+// endpoint request body. Raw bytes are preserved (not re-marshalled) so
+// the cache's raw lookaside sees exactly what a single call would send.
+type batchItem struct {
+	Op      string          `json:"op"` // "check", "route" or "simulate"
+	Request json.RawMessage `json:"request"`
+}
+
+type batchRequest struct {
+	Requests []batchItem `json:"requests"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	defer release()
+	var req batchRequest
+	if err := decodeBytes(body, &req); err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeErr(w, r, badRequest("empty batch: requests must hold at least one item"))
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		writeErr(w, r, limitExceeded("batch too large: %d items > %d", len(req.Requests), s.cfg.MaxBatch))
+		return
+	}
+
+	// The response is hand-assembled: sub-bodies are spliced in as
+	// pre-rendered bytes (no re-encode, no re-ordering of their keys),
+	// which is both the amortization and the byte-determinism argument.
+	out := bodyPool.Get().(*bytes.Buffer)
+	defer bodyPool.Put(out)
+	out.Reset()
+	out.WriteString(`{"responses":[`)
+	ctx := r.Context()
+	for i, item := range req.Requests {
+		// A dead client stops the batch between sub-requests; nothing
+		// is written and instrument() records the 499. A server-side
+		// deadline instead fails the remaining items individually below.
+		if err := ctx.Err(); err == context.Canceled {
+			return
+		}
+		if i > 0 {
+			out.WriteByte(',')
+		}
+		s.execBatchItem(ctx, out, item)
+	}
+	out.WriteString("]}\n")
+	writeJSONBytes(w, http.StatusOK, out.Bytes(), nil)
+}
+
+// execBatchItem renders one positional sub-response into out.
+func (s *server) execBatchItem(ctx context.Context, out *bytes.Buffer, item batchItem) {
+	var (
+		body []byte
+		hit  bool
+		attr bool // whether this op carries cache attribution
+		err  error
+	)
+	switch item.Op {
+	case "check":
+		attr = true
+		body, hit, err = s.execCheck(item.Request)
+	case "route":
+		attr = true
+		body, hit, err = s.execRoute(item.Request)
+	case "simulate":
+		body, err = s.execSimulate(ctx, item.Request)
+	default:
+		err = badRequest("unknown op %q (check, route or simulate)", item.Op)
+	}
+	status := http.StatusOK
+	if err != nil {
+		body, status = encodeErr(err)
+		attr = false
+	}
+
+	// {"op":<op>,"status":N[,"cache":"hit|miss"],"body":<bytes sans \n>}
+	out.WriteString(`{"op":`)
+	switch item.Op {
+	case "check", "route", "simulate":
+		// Known ops need no JSON escaping; skip the marshal.
+		out.WriteByte('"')
+		out.WriteString(item.Op)
+		out.WriteByte('"')
+	default:
+		opJSON, mErr := json.Marshal(item.Op)
+		if mErr != nil { // cannot happen for a decoded string
+			opJSON = []byte(`""`)
+		}
+		out.Write(opJSON)
+	}
+	out.WriteString(`,"status":`)
+	var statusBuf [3]byte
+	out.Write(strconv.AppendInt(statusBuf[:0], int64(status), 10))
+	if attr && s.cache != nil {
+		if hit {
+			out.WriteString(`,"cache":"hit"`)
+		} else {
+			out.WriteString(`,"cache":"miss"`)
+		}
+	}
+	out.WriteString(`,"body":`)
+	// Single-endpoint bodies end in the json.Encoder newline; splice
+	// without it so the envelope stays one line.
+	if n := len(body); n > 0 && body[n-1] == '\n' {
+		body = body[:n-1]
+	}
+	out.Write(body)
+	out.WriteByte('}')
+}

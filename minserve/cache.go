@@ -182,31 +182,28 @@ func writeJSONBytes(w http.ResponseWriter, status int, body []byte, xCache []str
 	_, _ = w.Write(body)
 }
 
-// serveCached answers from the cache when possible; otherwise it runs
-// compute, caches the rendered body (raw-indexing it under rawBody when
-// non-nil), and serves it. Only successful responses are cached —
-// errors stay on the uncached writeErr path.
-func (s *server) serveCached(w http.ResponseWriter, r *http.Request, key, endpoint string, rawBody []byte, compute func() (any, error)) {
+// computeCached answers from the cache when possible; otherwise it runs
+// compute, renders it, and caches the body (raw-indexing it under
+// rawBody when non-nil). It returns the response bytes and whether the
+// cache answered, so both the single handlers and the batch endpoint
+// share one execution path. Only successful responses are cached —
+// errors stay uncached.
+func (s *server) computeCached(key, endpoint string, rawBody []byte, compute func() (any, error)) ([]byte, bool, error) {
 	if s.cache != nil {
 		if body, ok := s.cache.get(key); ok {
-			writeJSONBytes(w, http.StatusOK, body, headerHit)
-			return
+			return body, true, nil
 		}
 	}
 	v, err := compute()
 	if err != nil {
-		writeErr(w, r, err)
-		return
+		return nil, false, err
 	}
 	body, err := encodeJSON(v)
 	if err != nil {
-		writeErr(w, r, err)
-		return
+		return nil, false, err
 	}
 	if s.cache != nil {
 		s.cache.put(key, endpoint, rawBody, body)
-		writeJSONBytes(w, http.StatusOK, body, headerMiss)
-		return
 	}
-	writeJSONBytes(w, http.StatusOK, body, nil)
+	return body, false, nil
 }

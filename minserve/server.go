@@ -2,16 +2,21 @@
 // It is deliberately built on nothing but minequiv/min and the standard
 // library — the service is the proof that the façade API is sufficient
 // for serving network construction, equivalence checking, routing and
-// traffic simulation to external consumers.
+// traffic simulation to external consumers at production load.
 //
-// Endpoints (all JSON):
+// Endpoints (JSON unless noted):
 //
-//	GET  /v1/networks   the catalog, the scenario registry and the limits
-//	GET  /v1/healthz    liveness: version, uptime, cache snapshot
-//	GET  /v1/stats      response-cache hit/miss counters
+//	GET  /v1/networks   the catalog and the scenario registry
+//	GET  /v1/limits     every operator-configured request/serving limit
+//	GET  /v1/healthz    liveness: version, uptime, cache + serving stats
+//	GET  /v1/stats      deprecated alias for the cache counters (use
+//	                    /v1/healthz; responses carry a Deprecation header)
+//	GET  /metrics       Prometheus text exposition (version 0.0.4)
 //	POST /v1/check      characterization report (+ optional isomorphism)
 //	POST /v1/route      one routed path, with the tag schedule when PIPID
 //	POST /v1/simulate   wave or buffered statistics, seeded and reproducible
+//	POST /v1/batch      up to MaxBatch heterogeneous check/route/simulate
+//	                    sub-requests in one body, positionally answered
 //
 // /v1/route and /v1/simulate accept an optional `faults` object (a
 // min.FaultPlan): routing then avoids the pinned dead/stuck switches
@@ -21,19 +26,32 @@
 // Responses are deterministic: the same request body (same seed) yields
 // a byte-identical response body. Request contexts are threaded through
 // to the simulation engine, so a client that disconnects mid-simulation
-// stops the run within one trial.
+// stops the run within one trial (batches stop within one sub-request).
+//
+// Errors use a structured envelope with stable machine-readable codes:
+//
+//	{"error":{"code":"bad_request","message":"...","status":400},"message":"..."}
+//
+// (the top-level "message" duplicates error.message for pre-0.7 clients
+// of the flat envelope and will be removed in the next release).
 //
 // /v1/check and /v1/route are served through a bounded LRU response
 // cache keyed by the network's canonical arc hash plus the request
-// parameters, so repeated checks of the same topology skip the analysis
-// entirely; a hit replays the exact bytes of the cold response (the
-// X-Cache header says which happened) and GET /v1/stats exposes the
-// counters. Config.CacheEntries bounds it; a negative value disables
-// caching.
+// parameters; a hit replays the exact bytes of the cold response (the
+// X-Cache header, or the per-item `cache` field of a batch sub-response,
+// says which happened). Config.CacheEntries bounds it; a negative value
+// disables caching.
+//
+// The POST endpoints are admission-controlled: Config.MaxConcurrent
+// requests execute at once, Config.MaxQueueDepth more may queue for up
+// to Config.QueueWait, and everything beyond is shed with 429 +
+// Retry-After. The GET endpoints bypass admission so observability
+// stays reachable under saturation.
 package minserve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,7 +63,8 @@ import (
 	"minequiv/min"
 )
 
-// Config bounds what one request may ask of the server.
+// Config bounds what one request may ask of the server and how much
+// concurrent work the server accepts.
 type Config struct {
 	// MaxBodyBytes caps the request body size. Default 1 MiB.
 	MaxBodyBytes int64
@@ -68,6 +87,24 @@ type Config struct {
 	// are byte-identical to a cold run). Default 256; negative
 	// disables caching.
 	CacheEntries int
+	// MaxBatch caps the sub-request count of one /v1/batch body.
+	// Default 64.
+	MaxBatch int
+	// MaxConcurrent bounds how many admitted POST requests execute at
+	// once. Default GOMAXPROCS; negative disables admission control
+	// entirely (unbounded concurrency).
+	MaxConcurrent int
+	// MaxQueueDepth bounds how many requests may wait for an execution
+	// slot beyond MaxConcurrent; excess is shed with 429. Default 64;
+	// negative allows no waiters (shed as soon as all slots are busy).
+	MaxQueueDepth int
+	// QueueWait bounds how long one request may wait in the queue
+	// before being shed. Default 1s; negative disables waiting.
+	QueueWait time.Duration
+	// RequestTimeout is the per-request deadline covering queue wait
+	// and execution; expiry yields 503 deadline_exceeded. Default 0
+	// (no deadline).
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -95,39 +132,82 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueueDepth == 0:
+		c.MaxQueueDepth = 64
+	case c.MaxQueueDepth < 0:
+		c.MaxQueueDepth = 0
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = time.Second
+	}
 	return c
 }
 
 // Version identifies the service build; /v1/healthz reports it.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 type server struct {
-	cfg   Config
-	cache *responseCache // nil when CacheEntries < 0
-	start time.Time
-	now   func() time.Time // injectable for the healthz golden test
+	cfg     Config
+	cache   *responseCache // nil when CacheEntries < 0
+	metrics *metrics
+	adm     *admission // nil when MaxConcurrent < 0
+	start   time.Time
+	now     func() time.Time // injectable for the healthz golden test
 }
 
 func newServer(cfg Config) *server {
 	cfg = cfg.withDefaults()
 	return &server{
-		cfg:   cfg,
-		cache: newResponseCache(cfg.CacheEntries),
-		start: time.Now(),
-		now:   time.Now,
+		cfg:     cfg,
+		cache:   newResponseCache(cfg.CacheEntries),
+		metrics: newMetrics(),
+		adm:     newAdmission(cfg),
+		start:   time.Now(),
+		now:     time.Now,
 	}
 }
 
-// handler builds the route table.
+// handler builds the route table: observability endpoints bypass
+// admission, work endpoints go through it, and everything is
+// instrumented.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	mux.HandleFunc("GET /v1/limits", s.handleLimits)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/check", s.handleCheck)
-	mux.HandleFunc("POST /v1/route", s.handleRoute)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	work := s.admit(http.HandlerFunc(s.handleWork))
+	mux.Handle("POST /v1/check", work)
+	mux.Handle("POST /v1/route", work)
+	mux.Handle("POST /v1/simulate", work)
+	mux.Handle("POST /v1/batch", work)
+	return s.instrument(mux)
+}
+
+// handleWork dispatches the admitted POST endpoints (they share one
+// admission wrapper so a batch and a single request compete for the
+// same slots).
+func (s *server) handleWork(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/check":
+		s.handleCheck(w, r)
+	case "/v1/route":
+		s.handleRoute(w, r)
+	case "/v1/simulate":
+		s.handleSimulate(w, r)
+	case "/v1/batch":
+		s.handleBatch(w, r)
+	default:
+		http.NotFound(w, r)
+	}
 }
 
 // NewHandler returns the service's HTTP handler. Zero-value Config
@@ -136,67 +216,10 @@ func NewHandler(cfg Config) http.Handler {
 	return newServer(cfg).handler()
 }
 
-// errorBody is the uniform error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
-}
-
-// httpError is an error with a chosen status code.
-type httpError struct {
-	status int
-	msg    string
-}
-
-func (e *httpError) Error() string { return e.msg }
-
-func badRequest(format string, args ...any) error {
-	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
-}
-
-func writeErr(w http.ResponseWriter, r *http.Request, err error) {
-	// A dead client gets no body; report 499-style close as 400 is
-	// pointless — just bail.
-	if r.Context().Err() != nil {
-		return
-	}
-	status := http.StatusBadRequest
-	var he *httpError
-	if errors.As(err, &he) {
-		status = he.status
-	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
-}
-
-// decode reads one JSON body with the configured size limit, rejecting
-// unknown fields and trailing garbage so malformed requests fail loudly
-// instead of half-applying.
-func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
-		}
-		return badRequest("invalid request body: %v", err)
-	}
-	if dec.More() {
-		return badRequest("invalid request body: trailing data")
-	}
-	return nil
-}
-
-// bodyPool recycles the read buffers of the cached endpoints: a warm
-// hit needs the raw bytes only for the lookaside probe, so the buffer
-// is returned as soon as the handler finishes.
+// bodyPool recycles the read buffers of the POST endpoints and the
+// batch/metrics render buffers: a warm hit needs the raw bytes only for
+// the lookaside probe, so the buffer is returned as soon as the handler
+// finishes.
 var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // readBody slurps the request body into a pooled buffer under the
@@ -212,7 +235,7 @@ func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, func(
 		bodyPool.Put(buf)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return nil, nil, &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
+			return nil, nil, &httpError{status: http.StatusRequestEntityTooLarge, code: CodeLimitExceeded, msg: err.Error()}
 		}
 		return nil, nil, badRequest("invalid request body: %v", err)
 	}
@@ -247,7 +270,10 @@ type networkSpec struct {
 const TailCycleName = "tail-cycle"
 
 func (s *server) buildNetwork(spec networkSpec) (*min.Network, error) {
-	if spec.Stages < 2 || spec.Stages > s.cfg.MaxStages {
+	if spec.Stages > s.cfg.MaxStages {
+		return nil, limitExceeded("stages must be in [2,%d], got %d", s.cfg.MaxStages, spec.Stages)
+	}
+	if spec.Stages < 2 {
 		return nil, badRequest("stages must be in [2,%d], got %d", s.cfg.MaxStages, spec.Stages)
 	}
 	switch {
@@ -268,13 +294,18 @@ func (s *server) buildNetwork(spec networkSpec) (*min.Network, error) {
 	case spec.Network == TailCycleName:
 		return min.TailCycle(spec.Stages)
 	case spec.Network != "":
-		return min.Build(spec.Network, spec.Stages)
+		nw, err := min.Build(spec.Network, spec.Stages)
+		if err != nil {
+			return nil, unknownNetwork(err)
+		}
+		return nw, nil
 	default:
 		return nil, badRequest("missing network name or permutation definition")
 	}
 }
 
-// networksResponse is the GET /v1/networks body.
+// networksResponse is the GET /v1/networks body. The limit fields are
+// deprecated aliases of GET /v1/limits, kept populated for one release.
 type networksResponse struct {
 	Networks  []min.NetworkInfo  `json:"networks"`
 	Scenarios []min.ScenarioInfo `json:"scenarios"`
@@ -293,6 +324,41 @@ func (s *server) handleNetworks(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// limitsResponse is the GET /v1/limits body: every operator-configured
+// bound a client needs to size its requests, including the serving
+// limits (batch size, admission bounds, deadlines).
+type limitsResponse struct {
+	MaxBodyBytes     int64 `json:"maxBodyBytes"`
+	MaxStages        int   `json:"maxStages"`
+	MaxTrials        int   `json:"maxTrials"`
+	MaxCycles        int   `json:"maxCycles"`
+	MaxWorkers       int   `json:"maxWorkers"`
+	MaxFaults        int   `json:"maxFaults"`
+	MaxBatch         int   `json:"maxBatch"`
+	CacheEntries     int   `json:"cacheEntries"`
+	MaxConcurrent    int   `json:"maxConcurrent"`
+	MaxQueueDepth    int   `json:"maxQueueDepth"`
+	QueueWaitMs      int64 `json:"queueWaitMs"`
+	RequestTimeoutMs int64 `json:"requestTimeoutMs"`
+}
+
+func (s *server) handleLimits(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, limitsResponse{
+		MaxBodyBytes:     s.cfg.MaxBodyBytes,
+		MaxStages:        s.cfg.MaxStages,
+		MaxTrials:        s.cfg.MaxTrials,
+		MaxCycles:        s.cfg.MaxCycles,
+		MaxWorkers:       s.cfg.MaxWorkers,
+		MaxFaults:        s.cfg.MaxFaults,
+		MaxBatch:         s.cfg.MaxBatch,
+		CacheEntries:     s.cfg.CacheEntries,
+		MaxConcurrent:    s.cfg.MaxConcurrent,
+		MaxQueueDepth:    s.cfg.MaxQueueDepth,
+		QueueWaitMs:      s.cfg.QueueWait.Milliseconds(),
+		RequestTimeoutMs: s.cfg.RequestTimeout.Milliseconds(),
+	})
+}
+
 // checkRequest asks for the characterization report of one network;
 // with Iso true the explicit isomorphism onto Baseline is included
 // (only present when the network is equivalent).
@@ -306,38 +372,33 @@ type checkResponse struct {
 	Iso    *min.Isomorphism `json:"iso,omitempty"`
 }
 
-func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	body, release, err := s.readBody(w, r)
-	if err != nil {
-		writeErr(w, r, err)
-		return
-	}
-	defer release()
+// execCheck serves one /v1/check body to rendered response bytes
+// (trailing newline included), reporting whether the cache answered.
+// Both the single handler and the batch endpoint call it, so a batch
+// sub-response is byte-identical to the single call's body.
+func (s *server) execCheck(body []byte) ([]byte, bool, error) {
 	// Fast path: a byte-identical repeat of an earlier successful
 	// request replays its response straight from the raw lookaside,
 	// skipping the JSON decode, the network build and the key render.
 	if s.cache != nil {
 		if cached, ok := s.cache.getRaw("check", body); ok {
-			writeJSONBytes(w, http.StatusOK, cached, headerHit)
-			return
+			return cached, true, nil
 		}
 	}
 	var req checkRequest
 	if err := decodeBytes(body, &req); err != nil {
-		writeErr(w, r, err)
-		return
+		return nil, false, err
 	}
 	nw, err := s.buildNetwork(req.networkSpec)
 	if err != nil {
-		writeErr(w, r, err)
-		return
+		return nil, false, err
 	}
 	// Building the network is cheap; the characterization (and the
 	// isomorphism construction) is what the cache skips. The key folds
 	// in everything the body depends on: the wiring (canonical arc
 	// hash), the reported name/size, and the iso flag.
 	key := fmt.Sprintf("check|%016x|%s|%d|iso=%t", nw.Fingerprint(), nw.Name(), nw.Stages(), req.Iso)
-	s.serveCached(w, r, key, "check", body, func() (any, error) {
+	return s.computeCached(key, "check", body, func() (any, error) {
 		resp := checkResponse{Report: min.Check(nw)}
 		if req.Iso && resp.Report.Equivalent {
 			iso, err := min.Iso(nw)
@@ -350,22 +411,68 @@ func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	defer release()
+	resp, hit, err := s.execCheck(body)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, resp, s.cacheHeader(hit))
+}
+
+// cacheHeader picks the X-Cache value; nil (no header) when caching is
+// disabled.
+func (s *server) cacheHeader(hit bool) []string {
+	switch {
+	case s.cache == nil:
+		return nil
+	case hit:
+		return headerHit
+	default:
+		return headerMiss
+	}
+}
+
 // statsResponse is the GET /v1/stats body.
 type statsResponse struct {
 	Cache CacheStats `json:"cache"`
 }
 
+// handleStats is deprecated: the counters moved into GET /v1/healthz.
+// The path keeps serving for one release and announces its retirement
+// with a Deprecation header (draft-ietf-httpapi-deprecation-header)
+// pointing at the successor.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/healthz>; rel="successor-version"`)
 	writeJSON(w, http.StatusOK, statsResponse{Cache: s.cache.stats()})
+}
+
+// ServingStats is the admission/serving-plane snapshot reported by
+// GET /v1/healthz (the /metrics endpoint carries the same numbers in
+// exposition format).
+type ServingStats struct {
+	Requests    uint64 `json:"requests"`
+	InFlight    int64  `json:"inFlight"`
+	QueueDepth  int64  `json:"queueDepth"`
+	Shed        uint64 `json:"shed"`
+	Disconnects uint64 `json:"disconnects"`
 }
 
 // healthzResponse is the GET /v1/healthz body: enough for a load
 // balancer to gate on and for an operator to eyeball.
 type healthzResponse struct {
-	Status        string     `json:"status"`
-	Version       string     `json:"version"`
-	UptimeSeconds int64      `json:"uptimeSeconds"`
-	Cache         CacheStats `json:"cache"`
+	Status        string       `json:"status"`
+	Version       string       `json:"version"`
+	UptimeSeconds int64        `json:"uptimeSeconds"`
+	Cache         CacheStats   `json:"cache"`
+	Serving       ServingStats `json:"serving"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -374,6 +481,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Version:       Version,
 		UptimeSeconds: int64(s.now().Sub(s.start) / time.Second),
 		Cache:         s.cache.stats(),
+		Serving: ServingStats{
+			Requests:    s.metrics.requestsTotal(),
+			InFlight:    s.metrics.inFlight.Load(),
+			QueueDepth:  s.metrics.queueDepth.Load(),
+			Shed:        s.metrics.shed.Load(),
+			Disconnects: s.metrics.disconnects.Load(),
+		},
 	})
 }
 
@@ -385,7 +499,7 @@ func (s *server) checkFaults(p *min.FaultPlan) error {
 		return nil
 	}
 	if len(p.Faults) > s.cfg.MaxFaults {
-		return badRequest("fault list too long: %d > %d", len(p.Faults), s.cfg.MaxFaults)
+		return limitExceeded("fault list too long: %d > %d", len(p.Faults), s.cfg.MaxFaults)
 	}
 	return nil
 }
@@ -408,37 +522,28 @@ type routeResponse struct {
 	TagPositions []int `json:"tagPositions,omitempty"`
 }
 
-func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
-	body, release, err := s.readBody(w, r)
-	if err != nil {
-		writeErr(w, r, err)
-		return
-	}
-	defer release()
+// execRoute serves one /v1/route body to rendered response bytes; see
+// execCheck for the contract.
+func (s *server) execRoute(body []byte) ([]byte, bool, error) {
 	if s.cache != nil {
 		if cached, ok := s.cache.getRaw("route", body); ok {
-			writeJSONBytes(w, http.StatusOK, cached, headerHit)
-			return
+			return cached, true, nil
 		}
 	}
 	var req routeRequest
 	if err := decodeBytes(body, &req); err != nil {
-		writeErr(w, r, err)
-		return
+		return nil, false, err
 	}
 	nw, err := s.buildNetwork(req.networkSpec)
 	if err != nil {
-		writeErr(w, r, err)
-		return
+		return nil, false, err
 	}
 	if req.Src < 0 || req.Src >= nw.Terminals() || req.Dst < 0 || req.Dst >= nw.Terminals() {
-		writeErr(w, r, badRequest("terminal out of range [0,%d): src=%d dst=%d",
-			nw.Terminals(), req.Src, req.Dst))
-		return
+		return nil, false, badRequest("terminal out of range [0,%d): src=%d dst=%d",
+			nw.Terminals(), req.Src, req.Dst)
 	}
 	if err := s.checkFaults(req.Faults); err != nil {
-		writeErr(w, r, err)
-		return
+		return nil, false, err
 	}
 	// The body also carries the PIPID tag schedule, which depends on the
 	// construction's index permutations, not only on the arcs — fold
@@ -454,7 +559,7 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("route|%016x|%s|%d|%v|%d>%d|faults=%+v",
 		nw.Fingerprint(), nw.Name(), nw.Stages(), thetas, req.Src, req.Dst, faults)
-	s.serveCached(w, r, key, "route", body, func() (any, error) {
+	return s.computeCached(key, "route", body, func() (any, error) {
 		if !faults.Empty() {
 			path, err := min.RouteUnderFaults(nw, req.Src, req.Dst, faults)
 			if err != nil {
@@ -474,6 +579,21 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		}
 		return resp, nil
 	})
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	defer release()
+	resp, hit, err := s.execRoute(body)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, resp, s.cacheHeader(hit))
 }
 
 // simulateRequest runs the wave model (default) or the buffered model.
@@ -516,16 +636,21 @@ type simulateResponse struct {
 	Buffered *min.BufferedStats `json:"buffered,omitempty"`
 }
 
-func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+// execSimulate serves one /v1/simulate body to rendered response
+// bytes. Simulations are not cached (they are cheap to replay only for
+// the caller who knows the seed) but they are context-governed: ctx
+// cancellation stops the engine within one trial.
+func (s *server) execSimulate(ctx context.Context, body []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var req simulateRequest
-	if err := s.decode(w, r, &req); err != nil {
-		writeErr(w, r, err)
-		return
+	if err := decodeBytes(body, &req); err != nil {
+		return nil, err
 	}
 	nw, err := s.buildNetwork(req.networkSpec)
 	if err != nil {
-		writeErr(w, r, err)
-		return
+		return nil, err
 	}
 	if req.Workers < 0 || req.Workers > s.cfg.MaxWorkers {
 		req.Workers = s.cfg.MaxWorkers
@@ -535,8 +660,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		seed = 1
 	}
 	if err := s.checkFaults(req.Faults); err != nil {
-		writeErr(w, r, err)
-		return
+		return nil, err
 	}
 	opts := []min.Option{min.WithSeed(seed), min.WithWorkers(req.Workers)}
 	if req.Faults != nil {
@@ -555,37 +679,35 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	case "", "wave":
 		if req.Replications != 0 || req.Queue != 0 || req.Lanes != 0 || req.Cycles != 0 ||
 			req.Warmup != 0 || req.Arbiter != "" || req.LaneSelect != "" {
-			writeErr(w, r, badRequest("buffered-model fields set on a wave request"))
-			return
+			return nil, badRequest("buffered-model fields set on a wave request")
 		}
 		waves := req.Waves
 		if waves == 0 {
 			waves = 500
 		}
-		if waves < 1 || waves > s.cfg.MaxTrials {
-			writeErr(w, r, badRequest("waves must be in [1,%d], got %d", s.cfg.MaxTrials, waves))
-			return
+		if waves < 1 {
+			return nil, badRequest("waves must be in [1,%d], got %d", s.cfg.MaxTrials, waves)
+		}
+		if waves > s.cfg.MaxTrials {
+			return nil, limitExceeded("waves must be in [1,%d], got %d", s.cfg.MaxTrials, waves)
 		}
 		kernel := min.Kernel(req.Kernel)
 		if req.Kernel == "" {
 			kernel = min.KernelAuto
 		}
-		st, err := min.Simulate(r.Context(), nw,
+		st, err := min.Simulate(ctx, nw,
 			append(opts, min.WithWaves(waves), min.WithKernel(kernel))...)
 		if err != nil {
-			writeErr(w, r, err)
-			return
+			return nil, err
 		}
-		writeJSON(w, http.StatusOK, simulateResponse{Model: "wave", Wave: &st})
+		return encodeJSON(simulateResponse{Model: "wave", Wave: &st})
 
 	case "buffered":
 		if req.Waves != 0 {
-			writeErr(w, r, badRequest("waves is a wave-model field; buffered runs use cycles/replications"))
-			return
+			return nil, badRequest("waves is a wave-model field; buffered runs use cycles/replications")
 		}
 		if req.Kernel != "" {
-			writeErr(w, r, badRequest("kernel selects the wave executor; the buffered model has no bit-sliced form"))
-			return
+			return nil, badRequest("kernel selects the wave executor; the buffered model has no bit-sliced form")
 		}
 		// Resolve defaults BEFORE checking the operator's limits, so an
 		// omitted field cannot slip a default past a cap set below it.
@@ -596,16 +718,13 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		queue := valueOr(req.Queue, 4)
 		lanes := valueOr(req.Lanes, 1)
 		if reps < 0 || cycles < 0 || warmup < 0 || queue < 0 || lanes < 0 {
-			writeErr(w, r, badRequest("negative buffered-model field"))
-			return
+			return nil, badRequest("negative buffered-model field")
 		}
 		if reps > s.cfg.MaxTrials {
-			writeErr(w, r, badRequest("replications must be <= %d, got %d", s.cfg.MaxTrials, reps))
-			return
+			return nil, limitExceeded("replications must be <= %d, got %d", s.cfg.MaxTrials, reps)
 		}
 		if cycles+warmup > s.cfg.MaxCycles {
-			writeErr(w, r, badRequest("cycles+warmup must be <= %d, got %d", s.cfg.MaxCycles, cycles+warmup))
-			return
+			return nil, limitExceeded("cycles+warmup must be <= %d, got %d", s.cfg.MaxCycles, cycles+warmup)
 		}
 		opts = append(opts,
 			min.WithReplications(reps), min.WithQueue(queue), min.WithLanes(lanes),
@@ -616,16 +735,30 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if req.LaneSelect != "" {
 			opts = append(opts, min.WithLaneSelect(min.LaneSelect(req.LaneSelect)))
 		}
-		st, err := min.SimulateBuffered(r.Context(), nw, opts...)
+		st, err := min.SimulateBuffered(ctx, nw, opts...)
 		if err != nil {
-			writeErr(w, r, err)
-			return
+			return nil, err
 		}
-		writeJSON(w, http.StatusOK, simulateResponse{Model: "buffered", Buffered: &st})
+		return encodeJSON(simulateResponse{Model: "buffered", Buffered: &st})
 
 	default:
-		writeErr(w, r, badRequest("unknown model %q (wave or buffered)", req.Model))
+		return nil, badRequest("unknown model %q (wave or buffered)", req.Model)
 	}
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	body, release, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	defer release()
+	resp, err := s.execSimulate(r.Context(), body)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	writeJSONBytes(w, http.StatusOK, resp, nil)
 }
 
 // valueOr substitutes the default for an omitted (zero) request field.

@@ -327,7 +327,8 @@ func TestHealthzGolden(t *testing.T) {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body)
 	}
 	golden := `{"status":"ok","version":"` + Version + `","uptimeSeconds":42,` +
-		`"cache":{"hits":0,"misses":0,"entries":0,"capacity":256}}` + "\n"
+		`"cache":{"hits":0,"misses":0,"entries":0,"capacity":256},` +
+		`"serving":{"requests":0,"inFlight":0,"queueDepth":0,"shed":0,"disconnects":0}}` + "\n"
 	if got := rec.Body.String(); got != golden {
 		t.Errorf("golden mismatch:\ngot  %swant %s", got, golden)
 	}
