@@ -38,7 +38,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"sort"
@@ -544,12 +544,12 @@ func runClosed(ctx context.Context, tgt target, ops []op, conns int, seed int64,
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			rng := rand.New(rand.NewPCG(uint64(seed), uint64(c)*7919))
 			local := &hist{}
 			n := uint64(0)
 			for ctx.Err() == nil {
 				o := pick(ops, rng)
-				body := o.bodies[rng.Intn(len(o.bodies))]
+				body := o.bodies[rng.IntN(len(o.bodies))]
 				start := time.Now()
 				status, err := tgt.post("/v1/"+o.name, body)
 				if err != nil {
@@ -612,7 +612,7 @@ func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, r
 		}(c)
 	}
 
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewPCG(uint64(seed), 0))
 	start := time.Now()
 	for ctx.Err() == nil {
 		frac := float64(time.Since(start)) / float64(dur)
@@ -625,7 +625,7 @@ func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, r
 		}
 		interval := time.Duration(float64(time.Second) / rate)
 		o := pick(ops, rng)
-		j := job{path: "/v1/" + o.name, body: o.bodies[rng.Intn(len(o.bodies))]}
+		j := job{path: "/v1/" + o.name, body: o.bodies[rng.IntN(len(o.bodies))]}
 		select {
 		case queue <- j:
 		default:

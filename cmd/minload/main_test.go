@@ -3,7 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
-	"math/rand"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"strings"
@@ -48,7 +48,7 @@ func TestBuildMix(t *testing.T) {
 			t.Errorf("op %s: %d variants, want 4", o.name, len(o.bodies))
 		}
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	counts := map[string]int{}
 	for i := 0; i < 4000; i++ {
 		counts[pick(ops, rng).name]++

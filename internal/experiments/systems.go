@@ -1,3 +1,8 @@
+// Nondeterministic by design: wall-clock reads time the simulation
+// sweeps for throughput reporting; the simulated metrics themselves
+// (delivery ratios, latencies in cycles) are seed-deterministic.
+//
+//minlint:allow detrand -- elapsed-time reporting; results stay seed-deterministic
 package experiments
 
 import (

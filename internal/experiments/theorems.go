@@ -1,3 +1,8 @@
+// Nondeterministic by design: wall-clock timings decorate the report
+// text only; every experimental result (tables, verdicts, counts) is a
+// pure function of (inputs, seed) and is what the golden tests pin.
+//
+//minlint:allow detrand -- elapsed-time reporting; results stay seed-deterministic
 package experiments
 
 import (

@@ -1,0 +1,21 @@
+package lint
+
+// Analyzers is the full minlint suite in reporting order. cmd/minlint
+// runs all of them by default; each can be selected individually.
+var Analyzers = []*Analyzer{
+	Detrand,
+	ImpBoundary,
+	HotAlloc,
+	ErrCodes,
+	MetricLint,
+}
+
+// ByName returns the suite analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

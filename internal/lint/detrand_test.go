@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"minequiv/internal/lint"
+	"minequiv/internal/lint/linttest"
+)
+
+func TestDetrand(t *testing.T) {
+	a := lint.NewDetrand([]string{"detfix/simlike"})
+	// simlike is in the deterministic set: every violation fires, the
+	// suppressed ones stay silent.
+	linttest.Run(t, "testdata", a, "detfix/simlike")
+	// free has the same constructs but is not in the set: no findings.
+	linttest.Run(t, "testdata", a, "detfix/free")
+}

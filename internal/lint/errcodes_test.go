@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"minequiv/internal/lint"
+	"minequiv/internal/lint/linttest"
+)
+
+func TestErrCodes(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ErrCodes, "codefix/codes")
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"minequiv/internal/lint"
+	"minequiv/internal/lint/linttest"
+)
+
+func TestImpBoundary(t *testing.T) {
+	a := lint.NewImpBoundary(lint.BoundaryConfig{
+		InternalPrefix:  "boundfix/internal",
+		AllowedPackages: []string{"boundfix/min"},
+		AllowedFiles:    []string{"boundfix/tool/bench_test.go"},
+	})
+	// app crosses the boundary: the deliberate violation must be caught.
+	linttest.Run(t, "testdata", a, "boundfix/app")
+	// min is the allowlisted facade; internal packages import each other
+	// freely (including subpackages).
+	linttest.Run(t, "testdata", a, "boundfix/min")
+	linttest.Run(t, "testdata", a, "boundfix/internal/secret")
+	// tool: bench_test.go is file-allowlisted, leak_test.go is not —
+	// proving test files are covered.
+	linttest.Run(t, "testdata", a, "boundfix/tool")
+}

@@ -1,0 +1,249 @@
+// Package linttest runs lint analyzers over fixture packages under a
+// testdata/src tree and checks their diagnostics against `// want`
+// expectation comments — the same contract as x/tools' analysistest,
+// reimplemented on the standard library so the module stays
+// dependency-free.
+//
+// Expectations: a comment `// want "re1" "re2"` on a line means the
+// analyzer must report on that line with messages matching each regexp
+// (in any order); every reported diagnostic must be matched by some
+// expectation. Fixture packages may import each other (resolved inside
+// the testdata/src tree) and the standard library (resolved through
+// the toolchain's export data).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"minequiv/internal/lint"
+)
+
+// Run loads the fixture package at root/src/<pkgPath>, applies the
+// analyzer, and verifies the // want expectations.
+func Run(t *testing.T, root string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := newLoader(t, root)
+	pkg := ld.load(pkgPath)
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	checkExpectations(t, ld.fset, pkg, diags)
+}
+
+// loader resolves fixture packages from root/src and the standard
+// library from compiled export data.
+type loader struct {
+	t       *testing.T
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*lint.Package
+	typed   map[string]*types.Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newLoader(t *testing.T, root string) *loader {
+	ld := &loader{
+		t:       t,
+		root:    root,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*lint.Package{},
+		typed:   map[string]*types.Package{},
+		exports: map[string]string{},
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f := ld.exports[path]
+		if f == "" {
+			return nil, fmt.Errorf("linttest: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return ld
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.typed[path]; ok {
+		return p, nil
+	}
+	if dir := filepath.Join(ld.root, "src", filepath.FromSlash(path)); isDir(dir) {
+		return ld.load(path).Pkg, nil
+	}
+	// Standard library: fetch export data for the path and its deps.
+	if _, ok := ld.exports[path]; !ok {
+		listed, err := listExports(path)
+		if err != nil {
+			return nil, err
+		}
+		for p, f := range listed {
+			ld.exports[p] = f
+		}
+	}
+	p, err := ld.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	ld.typed[path] = p
+	return p, nil
+}
+
+// load parses and type-checks one fixture package (memoized).
+func (ld *loader) load(pkgPath string) *lint.Package {
+	ld.t.Helper()
+	if p, ok := ld.pkgs[pkgPath]; ok {
+		return p
+	}
+	dir := filepath.Join(ld.root, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("linttest: fixture %s: %v", pkgPath, err)
+	}
+	var files, extra []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			ld.t.Fatalf("linttest: parsing %s: %v", e.Name(), err)
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			extra = append(extra, f)
+		} else {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		ld.t.Fatalf("linttest: fixture %s has no Go files", pkgPath)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		ld.t.Fatalf("linttest: type-checking %s: %v", pkgPath, err)
+	}
+	pkg := &lint.Package{
+		Path:       pkgPath,
+		Fset:       ld.fset,
+		Files:      files,
+		ExtraFiles: extra,
+		Pkg:        tpkg,
+		Info:       info,
+	}
+	ld.pkgs[pkgPath] = pkg
+	ld.typed[pkgPath] = tpkg
+	return pkg
+}
+
+// listExports shells to `go list -deps -export` for a stdlib path.
+func listExports(path string) (map[string]string, error) {
+	pkgs, err := lint.GoListExports(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+func isDir(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// wantRE matches an expectation comment; quoted regexps follow.
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	all := append(append([]*ast.File{}, pkg.Files...), pkg.ExtraFiles...)
+	for _, f := range all {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, m[1], pos) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	matchedDiag := make([]bool, len(diags))
+	for _, w := range wants {
+		for i, d := range diags {
+			if matchedDiag[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matchedDiag[i] = true
+				break
+			}
+		}
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+	for i, d := range diags {
+		if !matchedDiag[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", filepath.Base(d.Pos.Filename), d)
+		}
+	}
+}
+
+// splitQuoted extracts the sequence of quoted strings from a want
+// payload.
+func splitQuoted(t *testing.T, s string, pos token.Position) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s:%d: malformed want payload at %q", pos.Filename, pos.Line, s)
+		}
+		quote := s[0]
+		end := 1
+		for end < len(s) {
+			if s[end] == quote && (quote == '`' || s[end-1] != '\\') {
+				break
+			}
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s:%d: unterminated want string", pos.Filename, pos.Line)
+		}
+		raw, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want string %q: %v", pos.Filename, pos.Line, s[:end+1], err)
+		}
+		out = append(out, raw)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"minequiv/internal/lint"
+	"minequiv/internal/lint/linttest"
+)
+
+func TestMetricLint(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MetricLint, "metricfix/metrics")
+}

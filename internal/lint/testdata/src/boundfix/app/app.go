@@ -1,0 +1,9 @@
+// Package app sits outside the allowlist: importing the internal
+// surface is the deliberate violation the acceptance criteria require
+// impboundary to catch.
+package app
+
+import "boundfix/internal/secret" // want `imports boundfix/internal/secret across the public API boundary`
+
+// V leaks the internal constant.
+const V = secret.X

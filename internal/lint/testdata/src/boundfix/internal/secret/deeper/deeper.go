@@ -1,0 +1,5 @@
+// Package deeper is a nested internal package.
+package deeper
+
+// Z is nested internal state.
+const Z = 7

@@ -1,0 +1,6 @@
+package secret
+
+import "boundfix/internal/secret/deeper"
+
+// Y shows internal packages may import each other freely.
+const Y = deeper.Z

@@ -1,0 +1,6 @@
+// Package secret is the guarded internal surface of the boundary
+// fixtures.
+package secret
+
+// X is the internal symbol the fixtures import.
+const X = 42

@@ -1,0 +1,7 @@
+// Package min is the allowlisted facade: internal imports are its job.
+package min
+
+import "boundfix/internal/secret"
+
+// V re-exports through the facade.
+const V = secret.X

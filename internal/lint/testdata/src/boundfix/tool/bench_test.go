@@ -1,0 +1,5 @@
+package tool
+
+import "boundfix/internal/secret" // allowlisted file: no finding
+
+var _ = secret.X

@@ -1,0 +1,5 @@
+package tool
+
+import "boundfix/internal/secret" // want `imports boundfix/internal/secret across the public API boundary`
+
+var _ = secret.Y

@@ -1,0 +1,22 @@
+// Package codes mirrors minserve's error-code discipline: this file is
+// the registry; codes may only be written through its constants.
+package codes
+
+// Registered stable codes.
+const (
+	CodeGood = "good"
+	CodeAlso = "also_good"
+)
+
+// httpError mirrors minserve's wire error.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+// detail mirrors the envelope's structured object.
+type detail struct {
+	Code    string
+	Message string
+}

@@ -1,0 +1,42 @@
+package codes
+
+const codeRogue = "rogue"
+
+// ok writes codes the registered way.
+func ok() *httpError {
+	return &httpError{status: 400, code: CodeGood, msg: "fine"}
+}
+
+// literalRegistered writes a registered value as a raw literal: the
+// constant must be named instead.
+func literalRegistered() *httpError {
+	return &httpError{code: "good"} // want `error code "good" written as a string literal`
+}
+
+// literalUnregistered invents a code inline.
+func literalUnregistered() *httpError {
+	return &httpError{code: "oops"} // want `error code "oops" is not registered`
+}
+
+// constUnregistered launders an unregistered code through a local
+// constant.
+func constUnregistered() detail {
+	return detail{Code: codeRogue} // want `error code "rogue" is not registered`
+}
+
+// assigned catches field assignment too.
+func assigned(e *httpError) {
+	e.code = "inline" // want `error code "inline" is not registered`
+	e.code = CodeAlso
+}
+
+// dynamic plumbing (envelopeFor-style) is out of static reach; runtime
+// golden tests pin it.
+func dynamic(e *httpError, code string) detail {
+	return detail{Code: code, Message: e.msg}
+}
+
+// suppressed keeps a grandfathered code with a reviewed reason.
+func suppressed(e *httpError) {
+	e.code = "legacy_v0" //minlint:allow errcodes -- pre-registry code kept for one release
+}

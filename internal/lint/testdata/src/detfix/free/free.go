@@ -1,0 +1,17 @@
+// Package free is NOT in the deterministic set: detrand must stay
+// silent here even though every violation appears.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Both reports a timestamped draw.
+func Both(m map[string]int) int {
+	total := rand.Intn(int(time.Now().Unix()&0xff) + 1)
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

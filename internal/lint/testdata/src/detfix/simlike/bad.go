@@ -1,0 +1,78 @@
+package simlike
+
+import (
+	"math/rand" // want `imports math/rand \(v1\)`
+	"time"
+)
+
+var sink int
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `calls time.Now`
+}
+
+// StampAllowed demonstrates the line-scoped suppression path.
+func StampAllowed() time.Time {
+	//minlint:allow detrand -- cache TTL bookkeeping, not simulation state
+	return time.Now()
+}
+
+// Draw uses the v1 global generator.
+func Draw() int {
+	return rand.Intn(8)
+}
+
+// SumEscapes accumulates into an outer variable: iteration order can
+// leak through float rounding or early termination in later edits.
+func SumEscapes(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map with order-sensitive body`
+		total += v
+	}
+	return total
+}
+
+// CallEscapes calls a function from the body.
+func CallEscapes(m map[string]int) {
+	for k := range m { // want `range over map with order-sensitive body \(calls a function\)`
+		observe(k)
+	}
+}
+
+// ReturnEscapes returns mid-iteration: which entry wins depends on
+// order.
+func ReturnEscapes(m map[string]int) int {
+	for _, v := range m { // want `range over map with order-sensitive body \(returns from inside the range\)`
+		return v
+	}
+	return 0
+}
+
+// LocalOnly keeps every effect inside the body: order cannot escape.
+func LocalOnly(m map[string]int) {
+	for _, v := range m {
+		x := v * 2
+		x++
+		_ = x
+	}
+}
+
+// SliceRange is not a map range; nothing to report.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// AllowedRange demonstrates suppressing a reviewed map range.
+func AllowedRange(m map[string]int) {
+	//minlint:allow detrand -- order-insensitive: observe is commutative over keys
+	for k := range m {
+		observe(k)
+	}
+}
+
+func observe(string) { sink++ }

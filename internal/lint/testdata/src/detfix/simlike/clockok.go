@@ -1,0 +1,15 @@
+// This file mirrors internal/experiments/theorems.go: wall-clock reads
+// are the point (it reports how long things took), so the whole file
+// is declared nondeterministic by design.
+//minlint:allow detrand -- reporting-only wall clock; results never feed aggregates
+
+package simlike
+
+import "time"
+
+// Elapsed times fn; the duration is reported, never aggregated.
+func Elapsed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

@@ -1,0 +1,95 @@
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type runner struct {
+	buf []int
+}
+
+type iface interface{ m() }
+
+type impl struct{ v int }
+
+func (impl) m() {}
+
+func takes(iface) {}
+
+// bad exercises every allocating construct hotalloc flags.
+//
+//minlint:hotpath
+func bad(r *runner, s string, v int) {
+	_ = fmt.Sprintf("x %d", v) // want `calls fmt.Sprintf`
+	_ = errors.New("boom")     // want `constructs an error`
+	var out []int
+	out = append(out, v) // want `appends without preallocated-capacity evidence`
+	_ = out
+	m := map[int]int{} // want `builds a map literal`
+	_ = m
+	sl := []int{1, 2} // want `builds a slice literal`
+	_ = sl
+	p := &runner{} // want `address of a composite literal`
+	_ = p
+	n := new(runner) // want `calls new`
+	_ = n
+	cs := s + "x" // want `concatenates strings`
+	_ = cs
+	bs := []byte(s) // want `converts between string and byte/rune slice`
+	_ = bs
+	var i iface
+	i = impl{} // want `boxes a hotfix/hot.impl into interface`
+	_ = i
+	takes(impl{v: v})            // want `boxes a hotfix/hot.impl into interface`
+	go spin()                    // want `spawns a goroutine`
+	f := func() int { return v } // want `builds a capturing closure`
+	_ = f()
+}
+
+// amortized shows the allowed idioms: owned-scratch appends, reslice
+// evidence, make-with-cap evidence, value literals, non-capturing
+// closures, and cold panic paths.
+//
+//minlint:hotpath
+func amortized(r *runner, xs []int) int {
+	if len(xs) > 1<<20 {
+		panic(fmt.Sprintf("hot: absurd wave size %d", len(xs))) // cold path: exempt
+	}
+	scratch := r.buf[:0]
+	for _, x := range xs {
+		scratch = append(scratch, x) // reslice evidence
+	}
+	r.buf = append(r.buf, len(scratch)) // owned scratch
+	made := make([]int, 0, 4)           // want `calls make`
+	made = append(made, 1)              // make evidence still counts line-by-line
+	g := func() int { return 2 }        // non-capturing: static, no allocation
+	st := impl{v: g()}                  // value composite literal: stack
+	return st.v + made[0]
+}
+
+// deferred demonstrates the defer finding plus a same-line second
+// finding from the deferred call itself.
+//
+//minlint:hotpath
+func deferred() {
+	defer fmt.Println("bye") // want `defers` `calls fmt.Println`
+}
+
+// suppressed shows the reviewed-escape path.
+//
+//minlint:hotpath
+func suppressed() error {
+	return errors.New("cold construction") //minlint:allow hotalloc -- constructed once per run, not per wave
+}
+
+// cold has every construct but no annotation: hotalloc must stay
+// silent.
+func cold(s string) string {
+	_ = errors.New("x")
+	m := map[int]int{1: 2}
+	_ = m
+	return fmt.Sprintf("%s+%d", s, len(s))
+}
+
+func spin() {}

@@ -1,0 +1,48 @@
+// Package metrics mirrors minserve's dependency-free exposition
+// renderer: HELP/TYPE literals plus gauge/counter registration
+// helpers.
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+func gauge(name, help string, value string)   { _, _, _ = name, help, value }
+func counter(name, help string, value uint64) { _, _, _ = name, help, value }
+
+// render emits well-formed and malformed families.
+func render(w io.Writer) {
+	// Well-formed family with histogram suffixes.
+	fmt.Fprint(w, "# HELP minserve_good_seconds Latency.\n# TYPE minserve_good_seconds histogram\n")
+	fmt.Fprintf(w, "minserve_good_seconds_bucket{le=%q} %d\n", "+Inf", 1)
+	fmt.Fprintf(w, "minserve_good_seconds_sum %f\n", 0.5)
+	fmt.Fprintf(w, "minserve_good_seconds_count %d\n", 1)
+
+	fmt.Fprintf(w, "minserve_ghost_total %d\n", 2) // want `metric minserve_ghost_total is emitted but never registered`
+
+	fmt.Fprint(w, "# HELP wrong_total Off-namespace.\n# TYPE wrong_total counter\n") // want `metric family wrong_total lacks the minserve_ namespace prefix`
+
+	fmt.Fprint(w, "# HELP minserve_BadCase_total Mixed case.\n# TYPE minserve_BadCase_total counter\n") // want `metric family minserve_BadCase_total is not lower snake_case`
+
+	fmt.Fprint(w, "# TYPE minserve_helpless_total counter\n") // want `metric family minserve_helpless_total has TYPE but no HELP`
+
+	fmt.Fprint(w, "# HELP minserve_empty_help \n") // want `metric family minserve_empty_help has HELP but no TYPE` `metric family minserve_empty_help has empty help text`
+
+	fmt.Fprint(w, "# TYPE minserve_good_seconds histogram\n") // want `metric family minserve_good_seconds registered more than once`
+}
+
+// reg exercises the registration helpers.
+func reg() {
+	gauge("minserve_depth", "Queue depth.", "0")
+	counter("minserve_depth", "Duplicate registration.", 1) // want `metric family minserve_depth registered more than once`
+	name := "minserve_dyn"                                  // want `metric minserve_dyn is emitted but never registered`
+	gauge(name, "Dynamic name.", "0")                       // want `metric registered through gauge with a dynamic name`
+}
+
+// suppressed shows the reviewed-escape path for a migration window.
+func legacy(w io.Writer) {
+	fmt.Fprintf(w, "legacy_requests_total %d\n", 1) // no namespace prefix: not a sample usage, LintExposition catches it at runtime
+	//minlint:allow metriclint -- emitted for one release while dashboards migrate
+	fmt.Fprintf(w, "minserve_old_total %d\n", 1)
+}

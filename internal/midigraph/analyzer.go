@@ -107,6 +107,8 @@ func (a *Analyzer) unionStage(g *Graph, s int) {
 // of every window (lo..hi) for hi = lo..n-1. The result is written into
 // counts (reused when capacity allows) with counts[hi-lo] =
 // ComponentCount(lo, hi). O((n-lo)·h·α) total for the whole family.
+//
+//minlint:hotpath
 func (a *Analyzer) SweepCounts(g *Graph, lo int, counts []int) []int {
 	if lo < 0 || lo >= g.n {
 		panic(fmt.Sprintf("midigraph: sweep start %d invalid for %d stages", lo, g.n))

@@ -388,6 +388,8 @@ func (r *BitWaveRunner) clearPlanes() {
 // steerPlanes is the kernel: one pass per stage over the H cells,
 // advancing all lanes with word-parallel boolean algebra in the scalar
 // steer's exact fault precedence.
+//
+//minlint:hotpath
 func (r *BitWaveRunner) steerPlanes() {
 	f := r.f
 	n, N, H := f.Spans, f.N, f.H

@@ -212,6 +212,8 @@ func (f *Fabric) Banyan() bool {
 // severed) and portUnreachable when the intact wiring offers no path.
 // Allocation-free; both simulation models route every packet of every
 // cycle through this one function.
+//
+//minlint:hotpath
 func (f *Fabric) steer(fs *FaultState, s, cell, dst int) uint8 {
 	pt := f.stages[s].port[cell*f.N+dst]
 	if fs == nil || !fs.active {
@@ -245,6 +247,8 @@ func (f *Fabric) steer(fs *FaultState, s, cell, dst int) uint8 {
 // forward carries outlink `out` of stage s along the inter-stage wire to
 // the next stage's inlink. Must not be called for the last stage, whose
 // outlinks are terminals.
+//
+//minlint:hotpath
 func (f *Fabric) forward(s int, out uint64) uint64 {
 	return f.stages[s].next.Apply(out)
 }
@@ -254,6 +258,8 @@ func (f *Fabric) forward(s int, out uint64) uint64 {
 // real port comes back, forwards the outlink. It exists for the kernel
 // benchmark (steer/forward are unexported); the accumulated return
 // value defeats dead-code elimination.
+//
+//minlint:hotpath
 func (f *Fabric) SteerSweep(fs *FaultState, salt int) uint64 {
 	var acc uint64
 	for s := 0; s < f.Spans; s++ {

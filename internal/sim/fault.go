@@ -195,6 +195,8 @@ func (fs *FaultState) Sample(p FaultPlan, rng *rand.Rand) error {
 // once before sharding). Calling it with a plan that was never
 // validated against this state's fabric may panic on out-of-range
 // coordinates.
+//
+//minlint:hotpath
 func (fs *FaultState) Resample(p FaultPlan, rng *rand.Rand) {
 	fs.Reset()
 	for _, flt := range p.Faults {

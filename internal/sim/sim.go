@@ -112,10 +112,12 @@ func (r *WaveRunner) SetFaults(fs *FaultState) error {
 //
 // The returned WaveResult's DropStage slice is owned by the runner and
 // overwritten by the next call; copy it if it must outlive the wave.
+//
+//minlint:hotpath
 func (r *WaveRunner) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
 	f := r.f
 	if len(dsts) != f.N {
-		return WaveResult{}, fmt.Errorf("sim: %d destinations, want %d", len(dsts), f.N)
+		return WaveResult{}, fmt.Errorf("sim: %d destinations, want %d", len(dsts), f.N) //minlint:allow hotalloc -- cold validation path
 	}
 	for i := range r.dropStage {
 		r.dropStage[i] = 0
@@ -127,7 +129,7 @@ func (r *WaveRunner) RunWave(dsts []int, rng *rand.Rand) (WaveResult, error) {
 			continue
 		}
 		if dst >= f.N {
-			return WaveResult{}, fmt.Errorf("sim: destination %d out of range", dst)
+			return WaveResult{}, fmt.Errorf("sim: destination %d out of range", dst) //minlint:allow hotalloc -- cold validation path
 		}
 		pkts = append(pkts, flying{src: src, dst: dst, link: uint64(src)})
 	}
