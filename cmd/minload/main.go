@@ -13,9 +13,14 @@
 //     measure latency under offered load; arrivals that find every
 //     worker busy are counted as dropped, not silently coalesced.
 //
-// The workload is a weighted mix of check/route/simulate/batch
+// The workload is a weighted mix of check/route/simulate/batch/job
 // requests (-mix), rotated over -distinct parameter variants so the
 // response cache sees a realistic hit pattern rather than one hot key.
+// The job op exercises the async plane end to end: it submits a small
+// sweep to /v1/jobs and polls the status endpoint until the job
+// reaches a terminal state, so its measured latency is
+// submit-to-completion and its polling traffic rides the admission
+// bypass exactly like a real client's.
 //
 // Cross-machine comparability: the report embeds refCheckUs, the
 // median serial latency of a warm /v1/check on this host, measured
@@ -174,6 +179,14 @@ func buildMix(spec string, stages, waves, distinct int) ([]op, error) {
 			}
 			return `{"requests":[` + strings.Join(items, ",") + `]}`
 		},
+		// Small sweeps: a handful of shards each, so one job completes in
+		// well under a second and the op measures the whole job-plane
+		// round trip rather than a single long simulation.
+		"job": func(i int) string {
+			st := 3 + i%(stages-2)
+			return fmt.Sprintf(`{"networks":[%q],"stages":%d,"trialsPerCell":%d,"shardTrials":%d,"seed":%d}`,
+				networks[i%len(networks)], st, 4*waves, waves, i+1)
+		},
 	}
 	var ops []op
 	for _, part := range strings.Split(spec, ",") {
@@ -187,7 +200,7 @@ func buildMix(spec string, stages, waves, distinct int) ([]op, error) {
 		}
 		gen, ok := gens[name]
 		if !ok {
-			return nil, fmt.Errorf("mix entry %q: unknown op (check, route, simulate, batch)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown op (check, route, simulate, batch, job)", part)
 		}
 		if w == 0 {
 			continue
@@ -227,6 +240,7 @@ func pick(ops []op, r *rand.Rand) *op {
 // gate).
 type target interface {
 	post(path, body string) (status int, err error)
+	postRead(path, body string) (status int, respBody []byte, err error)
 	get(path string) (status int, body []byte, err error)
 }
 
@@ -243,6 +257,16 @@ func (t *httpTarget) post(path, body string) (int, error) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, nil
+}
+
+func (t *httpTarget) postRead(path, body string) (int, []byte, error) {
+	resp, err := t.client.Post(t.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
 }
 
 func (t *httpTarget) get(path string) (int, []byte, error) {
@@ -300,6 +324,16 @@ func (t *inprocTarget) post(path, body string) (int, error) {
 	return t.dispatch("POST", path, body).status, nil
 }
 
+func (t *inprocTarget) postRead(path, body string) (int, []byte, error) {
+	var buf bytes.Buffer
+	req, _ := http.NewRequest("POST", "http://minload"+path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.ContentLength = int64(len(body))
+	rec := &captureWriter{h: make(http.Header), body: &buf}
+	t.h.ServeHTTP(rec, req)
+	return rec.status, buf.Bytes(), nil
+}
+
 func (t *inprocTarget) get(path string) (int, []byte, error) {
 	var buf bytes.Buffer
 	req, _ := http.NewRequest("GET", "http://minload"+path, nil)
@@ -325,6 +359,58 @@ func (w *captureWriter) Write(p []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	return w.body.Write(p)
+}
+
+// jobPollInterval paces the job op's status polling; the reads bypass
+// admission server-side, so this bounds client chatter, not load.
+const jobPollInterval = 5 * time.Millisecond
+
+// jobStatus is the slice of the wire status the driver needs. minload
+// speaks the HTTP protocol (it may target a remote build), so it
+// matches fields by wire name rather than importing the jobs package.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+func jobTerminal(state string) bool {
+	return state != "pending" && state != "running"
+}
+
+// doOp issues one mix operation. Every op except job is a single POST;
+// job submits a sweep and polls until the job leaves the live states,
+// so its latency sample spans submit-to-completion. A run deadline
+// that lands mid-poll abandons the job (the server finishes it alone)
+// and reports the submit's status.
+func doOp(ctx context.Context, tgt target, name, body string) (int, error) {
+	if name != "job" {
+		return tgt.post("/v1/"+name, body)
+	}
+	status, resp, err := tgt.postRead("/v1/jobs", body)
+	if err != nil || status != http.StatusAccepted {
+		return status, err
+	}
+	var st jobStatus
+	if err := json.Unmarshal(resp, &st); err != nil {
+		return 0, fmt.Errorf("job submit response: %w", err)
+	}
+	for !jobTerminal(st.State) {
+		if ctx.Err() != nil {
+			return status, nil
+		}
+		time.Sleep(jobPollInterval)
+		code, b, err := tgt.get("/v1/jobs/" + st.ID)
+		if err != nil || code != http.StatusOK {
+			return code, err
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			return 0, fmt.Errorf("job status response: %w", err)
+		}
+	}
+	if st.State != "done" {
+		return http.StatusInternalServerError, nil
+	}
+	return http.StatusOK, nil
 }
 
 // --- report ---------------------------------------------------------
@@ -551,7 +637,7 @@ func runClosed(ctx context.Context, tgt target, ops []op, conns int, seed int64,
 				o := pick(ops, rng)
 				body := o.bodies[rng.IntN(len(o.bodies))]
 				start := time.Now()
-				status, err := tgt.post("/v1/"+o.name, body)
+				status, err := doOp(ctx, tgt, o.name, body)
 				if err != nil {
 					status = 0
 				}
@@ -582,7 +668,7 @@ func runClosed(ctx context.Context, tgt target, ops []op, conns int, seed int64,
 // queue full are dropped and counted — open-loop honesty: a saturated
 // server must not slow the arrival process down.
 func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, rateStart, rateEnd float64, dur time.Duration, h *hist) (requests, errsN, shed, dropped uint64) {
-	type job struct{ path, body string }
+	type job struct{ op, body string }
 	queue := make(chan job, conns*2)
 	var errCount, shedCount, dropCount, total atomic.Uint64
 	var mu sync.Mutex
@@ -594,7 +680,7 @@ func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, r
 			local := &hist{}
 			for j := range queue {
 				start := time.Now()
-				status, err := tgt.post(j.path, j.body)
+				status, err := doOp(ctx, tgt, j.op, j.body)
 				local.add(time.Since(start))
 				total.Add(1)
 				switch {
@@ -625,7 +711,7 @@ func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, r
 		}
 		interval := time.Duration(float64(time.Second) / rate)
 		o := pick(ops, rng)
-		j := job{path: "/v1/" + o.name, body: o.bodies[rng.IntN(len(o.bodies))]}
+		j := job{op: o.name, body: o.bodies[rng.IntN(len(o.bodies))]}
 		select {
 		case queue <- j:
 		default:

@@ -9,9 +9,17 @@
 //	curl -d '{"network":"omega","stages":4}' localhost:8080/v1/check
 //	curl -d '{"network":"omega","stages":6,"waves":500,"seed":7}' localhost:8080/v1/simulate
 //
+// With -jobs-dir, long sweeps run on the checkpointed job plane and
+// survive restarts:
+//
+//	minserve -addr :8080 -jobs-dir /var/lib/minserve/jobs
+//	curl -d '{"networks":["omega","baseline"],"stages":6,"faultRates":[0,0.05],"trialsPerCell":20000}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/<id>/events
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get -grace to finish (cancelled simulations stop within one
-// trial).
+// trial), and the job plane drains — running shards checkpoint, so a
+// restart resumes exactly where the logs end.
 package main
 
 import (
@@ -54,7 +62,32 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	queueWait := fs.Duration("queue-wait", time.Second, "longest one request may wait in the queue")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline, queue wait included (0 disables)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	jobsDir := fs.String("jobs-dir", "", "checkpoint directory for the async job plane (empty: jobs are in-memory and die with the process)")
+	jobWorkers := fs.Int("job-workers", 0, "job-plane shard executors (0 = GOMAXPROCS)")
+	jobTTL := fs.Duration("job-ttl", time.Hour, "how long finished jobs (and their checkpoints) are kept (negative: forever)")
+	maxJobs := fs.Int("max-jobs", 16, "live jobs accepted at once")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc, err := minserve.New(minserve.Config{
+		MaxBodyBytes:   *maxBody,
+		MaxStages:      *maxStages,
+		MaxTrials:      *maxTrials,
+		MaxCycles:      *maxCycles,
+		MaxFaults:      *maxFaults,
+		MaxBatch:       *maxBatch,
+		CacheEntries:   *cacheEntries,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueueDepth:  *maxQueue,
+		QueueWait:      *queueWait,
+		RequestTimeout: *reqTimeout,
+		JobsDir:        *jobsDir,
+		JobWorkers:     *jobWorkers,
+		JobTTL:         *jobTTL,
+		MaxJobs:        *maxJobs,
+	})
+	if err != nil {
 		return err
 	}
 
@@ -63,19 +96,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	srv := &http.Server{
-		Handler: minserve.NewHandler(minserve.Config{
-			MaxBodyBytes:   *maxBody,
-			MaxStages:      *maxStages,
-			MaxTrials:      *maxTrials,
-			MaxCycles:      *maxCycles,
-			MaxFaults:      *maxFaults,
-			MaxBatch:       *maxBatch,
-			CacheEntries:   *cacheEntries,
-			MaxConcurrent:  *maxConcurrent,
-			MaxQueueDepth:  *maxQueue,
-			QueueWait:      *queueWait,
-			RequestTimeout: *reqTimeout,
-		}),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		// No WriteTimeout: long simulations are legitimate; the request
 		// limits above bound them, and BaseContext cancellation stops
@@ -93,10 +114,19 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fmt.Fprintln(w, "minserve: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	httpErr := srv.Shutdown(shutdownCtx)
+	if httpErr != nil {
 		// Requests still running after the grace period are cut off.
 		_ = srv.Close()
-		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	// Drain the job plane within the same grace budget: in-flight shards
+	// finish and checkpoint; past the deadline they are aborted and will
+	// simply re-run after the next start.
+	if err := svc.Close(shutdownCtx); err != nil {
+		fmt.Fprintln(w, "minserve: job drain cut short; unfinished shards will re-run on restart")
+	}
+	if httpErr != nil {
+		return fmt.Errorf("graceful shutdown: %w", httpErr)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

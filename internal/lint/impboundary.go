@@ -27,11 +27,15 @@ type BoundaryConfig struct {
 // reaches internals through it. cmd/minbench regenerates the
 // EXPERIMENTS.md tables, cmd/minlint is the static-contract driver
 // over internal/lint, and bench_test.go is the root benchmark harness
-// — all module-internal tooling, not API consumers.
+// — all module-internal tooling, not API consumers. minserve is the
+// HTTP service: its request surface rides the min facade, but its
+// asynchronous job plane is internal/jobs (sweep scheduling and
+// checkpointing are serving concerns, not library API).
 var DefaultBoundary = BoundaryConfig{
 	InternalPrefix: "minequiv/internal",
 	AllowedPackages: []string{
 		"minequiv/min",
+		"minequiv/minserve",
 		"minequiv/cmd/minbench",
 		"minequiv/cmd/minlint",
 	},

@@ -20,3 +20,10 @@ type detail struct {
 	Code    string
 	Message string
 }
+
+// Job-plane codes: multi-word codes arrive by growing the registry,
+// exactly like minserve's job_not_found / checkpoint_corrupt family.
+const (
+	CodeJobGone    = "job_gone"
+	CodeJobTainted = "job_tainted"
+)

@@ -40,3 +40,24 @@ func dynamic(e *httpError, code string) detail {
 func suppressed(e *httpError) {
 	e.code = "legacy_v0" //minlint:allow errcodes -- pre-registry code kept for one release
 }
+
+// jobMapping mirrors the serving layer's sentinel-to-code mapping: the
+// registered constants flow through switches and composite literals.
+func jobMapping(missing bool) *httpError {
+	e := &httpError{status: 404, code: CodeJobGone, msg: "gone"}
+	if !missing {
+		e.code = CodeJobTainted
+	}
+	return e
+}
+
+// jobLiteral spells a registered job code inline; the constant must be
+// named so the registry stays the single source.
+func jobLiteral() detail {
+	return detail{Code: "job_gone"} // want `error code "job_gone" written as a string literal`
+}
+
+// jobUnregistered invents a job-plane code without growing the registry.
+func jobUnregistered(e *httpError) {
+	e.code = "job_lost" // want `error code "job_lost" is not registered`
+}

@@ -46,3 +46,14 @@ func legacy(w io.Writer) {
 	//minlint:allow metriclint -- emitted for one release while dashboards migrate
 	fmt.Fprintf(w, "minserve_old_total %d\n", 1)
 }
+
+// jobs mirrors the job-plane families: several counters and a gauge
+// registered through the helpers with literal names, and a sample line
+// emitted for a helper-registered family (fine — registration is
+// registration, whichever spelling produced it).
+func jobs(w io.Writer) {
+	gauge("minserve_jobs_live", "Live jobs.", "0")
+	counter("minserve_jobs_swept_total", "Jobs garbage-collected.", 3)
+	counter("minserve_job_shards_landed_total", "Shards checkpointed.", 12)
+	fmt.Fprintf(w, "minserve_jobs_swept_total %d\n", 3)
+}

@@ -31,6 +31,20 @@ const (
 	CodeDeadlineExceeded = "deadline_exceeded"
 	// CodeInternal: the server failed to render a response.
 	CodeInternal = "internal"
+	// CodeJobNotFound: no job with that ID exists (never created, or
+	// already garbage-collected past its TTL).
+	CodeJobNotFound = "job_not_found"
+	// CodeJobNotReady: the job exists but has no result yet (still
+	// running, or canceled). Poll status until terminal.
+	CodeJobNotReady = "job_not_ready"
+	// CodeJobQuarantined: every shard of the job was quarantined after
+	// exhausting retries, so no result exists at all. (A job with SOME
+	// quarantined shards still completes, degraded, with a result.)
+	CodeJobQuarantined = "job_quarantined"
+	// CodeCheckpointCorrupt: the job's on-disk checkpoint failed
+	// validation at resume; its prior progress cannot be trusted and the
+	// job is failed rather than silently recomputed.
+	CodeCheckpointCorrupt = "checkpoint_corrupt"
 )
 
 // errorDetail is the structured error object every non-2xx response

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"minequiv/internal/jobs"
 )
 
 // The metrics layer is dependency-free Prometheus text exposition
@@ -127,7 +129,7 @@ func formatFloat(v float64) string {
 
 // render writes the full exposition. Families and label sets are
 // emitted in sorted order so the output is deterministic.
-func (m *metrics) render(buf *bytes.Buffer, cache CacheStats) {
+func (m *metrics) render(buf *bytes.Buffer, cache CacheStats, js jobs.Stats) {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.endpoints))
 	for name := range m.endpoints {
@@ -192,13 +194,25 @@ func (m *metrics) render(buf *bytes.Buffer, cache CacheStats) {
 	}
 	gauge("minserve_cache_hit_ratio", "Cache hits over lookups since start (0 when idle).", formatFloat(ratio))
 	gauge("minserve_cache_entries", "Response cache entries resident.", strconv.Itoa(cache.Entries))
+
+	gauge("minserve_jobs_in_flight", "Live (pending or running) sweep jobs.",
+		strconv.FormatInt(js.JobsInFlight, 10))
+	counter("minserve_jobs_completed_total", "Jobs that reached done or degraded.", js.JobsCompleted)
+	counter("minserve_jobs_failed_total", "Jobs that reached failed (every shard quarantined, or a corrupt checkpoint at resume).",
+		js.JobsFailed)
+	counter("minserve_job_shards_done_total", "Sweep shards completed and checkpointed.", js.ShardsDone)
+	counter("minserve_job_shards_stolen_total", "Shard leases reclaimed from stalled or killed workers.", js.ShardsStolen)
+	counter("minserve_job_shards_retried_total", "Shard attempts that failed and were backed off for retry.", js.ShardsRetried)
+	counter("minserve_job_shards_quarantined_total", "Shards quarantined after exhausting their retry budget.",
+		js.ShardsQuarantined)
+	counter("minserve_job_checkpoint_bytes_total", "Bytes fsync'd into job checkpoint logs and manifests.", js.CheckpointBytes)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	buf := bodyPool.Get().(*bytes.Buffer)
 	defer bodyPool.Put(buf)
 	buf.Reset()
-	s.metrics.render(buf, s.cache.stats())
+	s.metrics.render(buf, s.cache.stats(), s.jobs.Stats())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes())
@@ -228,6 +242,11 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	cw.bytes += int64(n)
 	return n, err
 }
+
+// Unwrap exposes the wrapped writer (the http.ResponseController
+// convention), so streaming handlers can reach the server's Flusher
+// through the instrumentation.
+func (cw *countingWriter) Unwrap() http.ResponseWriter { return cw.ResponseWriter }
 
 // instrument wraps the whole route table: it times every request,
 // resolves the endpoint label from the matched ServeMux pattern, and

@@ -1,8 +1,10 @@
 // Package minserve exposes the public min API as an HTTP JSON service.
-// It is deliberately built on nothing but minequiv/min and the standard
-// library — the service is the proof that the façade API is sufficient
-// for serving network construction, equivalence checking, routing and
-// traffic simulation to external consumers at production load.
+// The request/response surface is built on minequiv/min and the
+// standard library; the asynchronous job plane below it is the
+// internal/jobs scheduler — the service is the proof that the façade
+// API is sufficient for serving network construction, equivalence
+// checking, routing and traffic simulation to external consumers at
+// production load, including sweeps too long for one request.
 //
 // Endpoints (JSON unless noted):
 //
@@ -17,6 +19,25 @@
 //	POST /v1/simulate   wave or buffered statistics, seeded and reproducible
 //	POST /v1/batch      up to MaxBatch heterogeneous check/route/simulate
 //	                    sub-requests in one body, positionally answered
+//
+// Long-running sweeps run on the asynchronous job plane instead of
+// inside one request:
+//
+//	POST   /v1/jobs              submit a sweep spec; 202 + job status
+//	GET    /v1/jobs              list resident jobs
+//	GET    /v1/jobs/{id}         job status (state, shard progress)
+//	GET    /v1/jobs/{id}/result  the finalized result bytes (409 until
+//	                             terminal; byte-stable across restarts)
+//	GET    /v1/jobs/{id}/events  progress stream: SSE when the client
+//	                             Accepts text/event-stream, JSON
+//	                             long-poll (?since=N&waitMs=D) otherwise
+//	DELETE /v1/jobs/{id}         cancel a live job
+//
+// Jobs are checkpointed per shard under Config.JobsDir: a crashed or
+// restarted server resumes every unfinished job and the eventual
+// result bytes are identical to an uninterrupted run's. Shards that
+// keep failing are quarantined after their retry budget and the job
+// completes degraded, its result naming what was lost.
 //
 // /v1/route and /v1/simulate accept an optional `faults` object (a
 // min.FaultPlan): routing then avoids the pinned dead/stuck switches
@@ -45,8 +66,9 @@
 // The POST endpoints are admission-controlled: Config.MaxConcurrent
 // requests execute at once, Config.MaxQueueDepth more may queue for up
 // to Config.QueueWait, and everything beyond is shed with 429 +
-// Retry-After. The GET endpoints bypass admission so observability
-// stays reachable under saturation.
+// Retry-After. The GET endpoints — including every job status/result/
+// events read — bypass admission so observability and job polling stay
+// reachable under saturation; only job submission competes for slots.
 package minserve
 
 import (
@@ -60,6 +82,7 @@ import (
 	"sync"
 	"time"
 
+	"minequiv/internal/jobs"
 	"minequiv/min"
 )
 
@@ -105,6 +128,26 @@ type Config struct {
 	// and execution; expiry yields 503 deadline_exceeded. Default 0
 	// (no deadline).
 	RequestTimeout time.Duration
+	// JobsDir is where the job plane checkpoints sweeps. "" (the
+	// default) runs jobs in memory only: they work, but do not survive
+	// a restart.
+	JobsDir string
+	// JobWorkers bounds the job plane's shard executor pool. Default
+	// GOMAXPROCS.
+	JobWorkers int
+	// JobTTL garbage-collects terminal jobs (and their checkpoint
+	// directories) this long after they finish. Default 1h; negative
+	// keeps them forever.
+	JobTTL time.Duration
+	// MaxJobs caps live (pending/running) jobs; submissions beyond it
+	// are shed with 429. Default 16.
+	MaxJobs int
+	// MaxJobCells caps the grid size (networks × loads × fault rates)
+	// of one submitted sweep. Default 256.
+	MaxJobCells int
+	// JobShardTrials is the default trials-per-shard granularity for
+	// specs that leave shardTrials unset. Default 2048.
+	JobShardTrials int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,31 +190,62 @@ func (c Config) withDefaults() Config {
 	if c.QueueWait == 0 {
 		c.QueueWait = time.Second
 	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = time.Hour
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 16
+	}
+	if c.MaxJobCells <= 0 {
+		c.MaxJobCells = 256
+	}
+	if c.JobShardTrials <= 0 {
+		c.JobShardTrials = 2048
+	}
 	return c
 }
 
 // Version identifies the service build; /v1/healthz reports it.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 type server struct {
 	cfg     Config
 	cache   *responseCache // nil when CacheEntries < 0
 	metrics *metrics
 	adm     *admission // nil when MaxConcurrent < 0
+	jobs    *jobs.Manager
 	start   time.Time
 	now     func() time.Time // injectable for the healthz golden test
 }
 
-func newServer(cfg Config) *server {
+func newServer(cfg Config) (*server, error) {
 	cfg = cfg.withDefaults()
+	ttl := cfg.JobTTL
+	if ttl < 0 {
+		ttl = 0 // the manager's "keep forever"
+	}
+	jm, err := jobs.Open(jobs.Config{
+		Dir:         cfg.JobsDir,
+		Workers:     cfg.JobWorkers,
+		ShardTrials: cfg.JobShardTrials,
+		TTL:         ttl,
+		MaxActive:   cfg.MaxJobs,
+	})
+	if err != nil {
+		return nil, err
+	}
 	return &server{
 		cfg:     cfg,
 		cache:   newResponseCache(cfg.CacheEntries),
 		metrics: newMetrics(),
 		adm:     newAdmission(cfg),
+		jobs:    jm,
 		start:   time.Now(),
 		now:     time.Now,
-	}
+	}, nil
 }
 
 // handler builds the route table: observability endpoints bypass
@@ -184,11 +258,21 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Job reads are observability: registered directly (not through
+	// admit) so polling a running sweep can never be shed while the
+	// synchronous plane is saturated. Submission is work and queues
+	// with the other POSTs.
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	work := s.admit(http.HandlerFunc(s.handleWork))
 	mux.Handle("POST /v1/check", work)
 	mux.Handle("POST /v1/route", work)
 	mux.Handle("POST /v1/simulate", work)
 	mux.Handle("POST /v1/batch", work)
+	mux.Handle("POST /v1/jobs", work)
 	return s.instrument(mux)
 }
 
@@ -205,15 +289,50 @@ func (s *server) handleWork(w http.ResponseWriter, r *http.Request) {
 		s.handleSimulate(w, r)
 	case "/v1/batch":
 		s.handleBatch(w, r)
+	case "/v1/jobs":
+		s.handleJobSubmit(w, r)
 	default:
 		http.NotFound(w, r)
 	}
 }
 
+// Server is the service plus its background job plane. Use New when
+// the process needs a graceful shutdown hook; NewHandler remains for
+// callers that only want the route table.
+type Server struct {
+	s *server
+}
+
+// New builds the service. The only error source is opening the
+// checkpoint directory (Config.JobsDir) and resuming the jobs found
+// there.
+func New(cfg Config) (*Server, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{s: s}, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (sv *Server) Handler() http.Handler { return sv.s.handler() }
+
+// Close drains the job plane: no new shards start, in-flight shards
+// finish and checkpoint, then the stores close. If ctx expires first
+// the stragglers are aborted — their shards simply re-run after the
+// next New on the same JobsDir. Idempotent.
+func (sv *Server) Close(ctx context.Context) error { return sv.s.jobs.Drain(ctx) }
+
 // NewHandler returns the service's HTTP handler. Zero-value Config
-// fields take the documented defaults.
+// fields take the documented defaults. It panics if Config.JobsDir is
+// set but unusable; processes serving a checkpoint directory should
+// use New and handle the error (and get Close for graceful drains).
 func NewHandler(cfg Config) http.Handler {
-	return newServer(cfg).handler()
+	s, err := newServer(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("minserve: opening job plane: %v", err))
+	}
+	return s.handler()
 }
 
 // bodyPool recycles the read buffers of the POST endpoints and the
@@ -340,6 +459,10 @@ type limitsResponse struct {
 	MaxQueueDepth    int   `json:"maxQueueDepth"`
 	QueueWaitMs      int64 `json:"queueWaitMs"`
 	RequestTimeoutMs int64 `json:"requestTimeoutMs"`
+	MaxJobs          int   `json:"maxJobs"`
+	MaxJobCells      int   `json:"maxJobCells"`
+	JobShardTrials   int   `json:"jobShardTrials"`
+	JobTTLMs         int64 `json:"jobTtlMs"`
 }
 
 func (s *server) handleLimits(w http.ResponseWriter, r *http.Request) {
@@ -356,6 +479,10 @@ func (s *server) handleLimits(w http.ResponseWriter, r *http.Request) {
 		MaxQueueDepth:    s.cfg.MaxQueueDepth,
 		QueueWaitMs:      s.cfg.QueueWait.Milliseconds(),
 		RequestTimeoutMs: s.cfg.RequestTimeout.Milliseconds(),
+		MaxJobs:          s.cfg.MaxJobs,
+		MaxJobCells:      s.cfg.MaxJobCells,
+		JobShardTrials:   s.cfg.JobShardTrials,
+		JobTTLMs:         s.cfg.JobTTL.Milliseconds(),
 	})
 }
 

@@ -318,7 +318,7 @@ func TestBodyLimit(t *testing.T) {
 // TestHealthzGolden pins the exact healthz body (uptime fixed by an
 // injected clock) — the wire format is part of the API.
 func TestHealthzGolden(t *testing.T) {
-	s := newServer(Config{})
+	s := mustServer(t, Config{})
 	s.start = time.Unix(1000, 0)
 	s.now = func() time.Time { return time.Unix(1042, 500_000_000) }
 	h := s.handler()

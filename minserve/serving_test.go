@@ -106,7 +106,8 @@ func TestLimitsGolden(t *testing.T) {
 	golden := `{"maxBodyBytes":1048576,"maxStages":10,"maxTrials":100000,` +
 		`"maxCycles":200000,"maxWorkers":4,"maxFaults":256,"maxBatch":64,` +
 		`"cacheEntries":256,"maxConcurrent":8,"maxQueueDepth":64,` +
-		`"queueWaitMs":2000,"requestTimeoutMs":30000}` + "\n"
+		`"queueWaitMs":2000,"requestTimeoutMs":30000,"maxJobs":16,` +
+		`"maxJobCells":256,"jobShardTrials":2048,"jobTtlMs":3600000}` + "\n"
 	if got := rec.Body.String(); got != golden {
 		t.Errorf("golden mismatch:\ngot  %swant %s", got, golden)
 	}
@@ -416,7 +417,7 @@ func TestDisconnectCounts499(t *testing.T) {
 // bound holds via the peak gauge (tracked at the only place requests
 // enter execution).
 func TestInFlightBound(t *testing.T) {
-	s := newServer(Config{MaxConcurrent: 3, MaxQueueDepth: 64, QueueWait: 5 * time.Second})
+	s := mustServer(t, Config{MaxConcurrent: 3, MaxQueueDepth: 64, QueueWait: 5 * time.Second})
 	h := s.handler()
 	var wg sync.WaitGroup
 	for i := 0; i < 30; i++ {
@@ -444,7 +445,7 @@ func TestInFlightBound(t *testing.T) {
 // TestLoadShedding saturates a one-slot server with no queue and
 // asserts the contender is shed with 429 + Retry-After + code.
 func TestLoadShedding(t *testing.T) {
-	s := newServer(Config{MaxConcurrent: 1, MaxQueueDepth: -1})
+	s := mustServer(t, Config{MaxConcurrent: 1, MaxQueueDepth: -1})
 	h := s.handler()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -486,7 +487,7 @@ func TestLoadShedding(t *testing.T) {
 // TestQueueWaitShedding: with a queue but a tiny wait budget, a waiter
 // times out into a 429 instead of hanging.
 func TestQueueWaitShedding(t *testing.T) {
-	s := newServer(Config{MaxConcurrent: 1, MaxQueueDepth: 4, QueueWait: 20 * time.Millisecond})
+	s := mustServer(t, Config{MaxConcurrent: 1, MaxQueueDepth: 4, QueueWait: 20 * time.Millisecond})
 	h := s.handler()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -40,7 +40,7 @@ func TestStressBatchCheckConcurrent(t *testing.T) {
 		ref[body] = rec.Body.String()
 	}
 
-	s := newServer(Config{CacheEntries: 4})
+	s := mustServer(t, Config{CacheEntries: 4})
 	h := s.handler()
 	const (
 		workers    = 8
