@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"minequiv/internal/codec"
 	"minequiv/internal/conn"
 	"minequiv/internal/engine"
 	"minequiv/internal/equiv"
@@ -23,6 +24,7 @@ import (
 	"minequiv/internal/route"
 	"minequiv/internal/sim"
 	"minequiv/internal/topology"
+	"minequiv/min"
 	"minequiv/minserve"
 )
 
@@ -601,6 +603,65 @@ func BenchmarkExperimentF1(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// codecFixtureRequest is a fault-heavy simulate request: the shape the
+// binary wire codec exists for (sweeps ship large pinned fault plans).
+func codecFixtureRequest() *codec.SimulateRequest {
+	plan := &min.FaultPlan{Faults: make([]min.Fault, 128)}
+	for i := range plan.Faults {
+		f := min.Fault{Stage: i % 5, Cell: i % 16}
+		switch i % 3 {
+		case 0:
+			f.Kind = min.SwitchDead
+		case 1:
+			f.Kind = min.SwitchStuck1
+		default:
+			f.Kind = min.LinkDown
+			f.Link = i % 32
+		}
+		plan.Faults[i] = f
+	}
+	return &codec.SimulateRequest{
+		NetworkSpec: codec.NetworkSpec{Network: "omega", Stages: 5},
+		Seed:        7,
+		Waves:       64,
+		Faults:      plan,
+	}
+}
+
+// BenchmarkCodecEncode gates the binary wire codec's encode hot loop:
+// steady-state re-encoding of a fault-heavy simulate request must not
+// allocate (CI fails the build on a nonzero allocs/op).
+func BenchmarkCodecEncode(b *testing.B) {
+	v := codecFixtureRequest()
+	var e codec.Encoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.SimulateRequest(v)
+	}
+}
+
+// BenchmarkCodecDecode gates the decode hot loop: decoding the same
+// frame into a reused target must reach zero allocs/op once the
+// target's slices and intern table are warm.
+func BenchmarkCodecDecode(b *testing.B) {
+	wire, err := codec.Encode(codecFixtureRequest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var d codec.Decoder
+	dst := new(codec.SimulateRequest)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Reset(wire)
+		if err := d.SimulateRequest(dst); err != nil {
 			b.Fatal(err)
 		}
 	}

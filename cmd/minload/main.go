@@ -16,6 +16,12 @@
 // The workload is a weighted mix of check/route/simulate/batch/job
 // requests (-mix), rotated over -distinct parameter variants so the
 // response cache sees a realistic hit pattern rather than one hot key.
+// The -codec axis picks the wire codec for the generated load: "json"
+// (default) speaks the plain JSON API, "bin" transcodes every request
+// body into the negotiated binary codec (application/x-min-bin) at mix
+// build time and asks for binary responses, so the same mix measures
+// both wire formats and the report's per-op byte counters quantify the
+// encoding win alongside the latency one.
 // The job op exercises the async plane end to end: it submits a small
 // sweep to /v1/jobs and polls the status endpoint until the job
 // reaches a terminal state, so its measured latency is
@@ -30,9 +36,9 @@
 //
 // Usage:
 //
-//	minload -inprocess -duration 5s -conns 8 -o BENCH_SERVE_7.json
+//	minload -inprocess -duration 5s -conns 8 -codec bin -o bin.json
 //	minload -addr localhost:8080 -rps 2000 -ramp 500:4000 -duration 30s
-//	minload -inprocess -baseline BENCH_SERVE_7.json -max-regress 20 -lint-metrics
+//	minload -inprocess -baseline BENCH_SERVE_10.json -max-regress 20 -lint-metrics
 package main
 
 import (
@@ -134,11 +140,36 @@ func (h *hist) quantile(q float64) float64 {
 
 // --- workload -------------------------------------------------------
 
-// op is one request template: path plus a rotation of bodies.
+// op is one request template: path plus a rotation of bodies. idx is
+// the op's position in the mix slice, the coordinate of its per-op
+// counters.
 type op struct {
 	name   string
+	idx    int
 	weight float64
 	bodies []string
+}
+
+// endpointFor maps a mix op name to the minserve endpoint name it
+// posts to ("job" submits to /v1/jobs, "simfault" is a simulate body).
+func endpointFor(name string) string {
+	switch name {
+	case "job":
+		return "jobs"
+	case "simfault":
+		return "simulate"
+	}
+	return name
+}
+
+// opCounters is the per-op traffic accounting, shared across workers.
+// bytesOut counts request-body bytes sent, bytesIn response-body bytes
+// received (for the job op: submit plus every status poll), so the
+// report shows the wire-size win of a codec, not just its latency.
+type opCounters struct {
+	requests atomic.Uint64
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
 }
 
 // buildMix parses "check=0.55,route=0.25,simulate=0.1,batch=0.1" into
@@ -172,6 +203,26 @@ func buildMix(spec string, stages, waves, distinct int) ([]op, error) {
 			return fmt.Sprintf(`{"network":%q,"stages":%d,"waves":%d,"seed":%d}`,
 				networks[i%len(networks)], st, waves, i+1)
 		},
+		// Degraded-fabric sweeps: simulate with a long pinned fault list,
+		// the request shape where the wire codec dominates the cost (the
+		// fault array is most of the body) rather than the kernel.
+		"simfault": func(i int) string {
+			st := 3 + i%(stages-2)
+			n := 1 << st
+			faults := make([]string, 0, 128)
+			for j := 0; j < 128; j++ {
+				switch j % 3 {
+				case 0:
+					faults = append(faults, fmt.Sprintf(`{"kind":"switch-dead","stage":%d,"cell":%d}`, j%st, (i+j)%(n/2)))
+				case 1:
+					faults = append(faults, fmt.Sprintf(`{"kind":"switch-stuck1","stage":%d,"cell":%d}`, j%st, (i+j)%(n/2)))
+				default:
+					faults = append(faults, fmt.Sprintf(`{"kind":"link-down","stage":%d,"link":%d}`, j%st, (i+j)%n))
+				}
+			}
+			return fmt.Sprintf(`{"network":%q,"stages":%d,"waves":%d,"seed":%d,"faults":{"faults":[%s]}}`,
+				networks[i%len(networks)], st, waves, i+1, strings.Join(faults, ","))
+		},
 		"batch": func(i int) string {
 			var items []string
 			for j := 0; j < 4; j++ {
@@ -200,7 +251,7 @@ func buildMix(spec string, stages, waves, distinct int) ([]op, error) {
 		}
 		gen, ok := gens[name]
 		if !ok {
-			return nil, fmt.Errorf("mix entry %q: unknown op (check, route, simulate, batch, job)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown op (check, route, simulate, simfault, batch, job)", part)
 		}
 		if w == 0 {
 			continue
@@ -216,8 +267,27 @@ func buildMix(spec string, stages, waves, distinct int) ([]op, error) {
 	}
 	for i := range ops {
 		ops[i].weight /= total
+		ops[i].idx = i
 	}
 	return ops, nil
+}
+
+// transcodeMix rewrites every request body in the mix into the binary
+// wire codec, once, at build time — workers then send pre-encoded
+// frames, so the generator measures the server's decode cost, not its
+// own encode cost.
+func transcodeMix(ops []op) error {
+	for i := range ops {
+		endpoint := endpointFor(ops[i].name)
+		for j, body := range ops[i].bodies {
+			enc, err := minserve.EncodeBinaryRequest(endpoint, []byte(body))
+			if err != nil {
+				return fmt.Errorf("transcode %s body: %w", ops[i].name, err)
+			}
+			ops[i].bodies[j] = string(enc)
+		}
+	}
+	return nil
 }
 
 // pick selects an op by weight from r.
@@ -238,8 +308,10 @@ func pick(ops []op, r *rand.Rand) *op {
 // handler called in-process (no sockets, no syscalls — the same mode
 // the CI serving-bench job uses, so runner networking never skews the
 // gate).
+// post returns the response-body size alongside the status so the
+// per-op byte counters stay honest even when the body is discarded.
 type target interface {
-	post(path, body string) (status int, err error)
+	post(path, body string) (status int, respBytes int, err error)
 	postRead(path, body string) (status int, respBody []byte, err error)
 	get(path string) (status int, body []byte, err error)
 }
@@ -247,20 +319,44 @@ type target interface {
 type httpTarget struct {
 	base   string
 	client *http.Client
+	binary bool // send binary bodies, ask for binary responses
 }
 
-func (t *httpTarget) post(path, body string) (int, error) {
-	resp, err := t.client.Post(t.base+path, "application/json", strings.NewReader(body))
-	if err != nil {
-		return 0, err
+func (t *httpTarget) do(method, path, body string) (*http.Response, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
+	req, err := http.NewRequest(method, t.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != "" {
+		if t.binary {
+			req.Header.Set("Content-Type", minserve.MediaTypeBinary)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		req.ContentLength = int64(len(body))
+	}
+	if t.binary {
+		req.Header.Set("Accept", minserve.MediaTypeBinary)
+	}
+	return t.client.Do(req)
+}
+
+func (t *httpTarget) post(path, body string) (int, int, error) {
+	resp, err := t.do("POST", path, body)
+	if err != nil {
+		return 0, 0, err
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	return resp.StatusCode, int(n), nil
 }
 
 func (t *httpTarget) postRead(path, body string) (int, []byte, error) {
-	resp, err := t.client.Post(t.base+path, "application/json", strings.NewReader(body))
+	resp, err := t.do("POST", path, body)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -270,7 +366,7 @@ func (t *httpTarget) postRead(path, body string) (int, []byte, error) {
 }
 
 func (t *httpTarget) get(path string) (int, []byte, error) {
-	resp, err := t.client.Get(t.base + path)
+	resp, err := t.do("GET", path, "")
 	if err != nil {
 		return 0, nil, err
 	}
@@ -302,43 +398,47 @@ func (w *nullWriter) Write(p []byte) (int, error) {
 }
 
 type inprocTarget struct {
-	h http.Handler
+	h      http.Handler
+	binary bool // send binary bodies, ask for binary responses
 }
 
-func (t *inprocTarget) dispatch(method, path, body string) *nullWriter {
+func (t *inprocTarget) newRequest(method, path, body string) *http.Request {
 	var rd io.Reader
 	if body != "" {
 		rd = strings.NewReader(body)
 	}
 	req, _ := http.NewRequest(method, "http://minload"+path, rd)
 	if body != "" {
-		req.Header.Set("Content-Type", "application/json")
+		if t.binary {
+			req.Header.Set("Content-Type", minserve.MediaTypeBinary)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
 		req.ContentLength = int64(len(body))
 	}
-	w := &nullWriter{h: make(http.Header)}
-	t.h.ServeHTTP(w, req)
-	return w
+	if t.binary {
+		req.Header.Set("Accept", minserve.MediaTypeBinary)
+	}
+	return req
 }
 
-func (t *inprocTarget) post(path, body string) (int, error) {
-	return t.dispatch("POST", path, body).status, nil
+func (t *inprocTarget) post(path, body string) (int, int, error) {
+	w := &nullWriter{h: make(http.Header)}
+	t.h.ServeHTTP(w, t.newRequest("POST", path, body))
+	return w.status, int(w.n), nil
 }
 
 func (t *inprocTarget) postRead(path, body string) (int, []byte, error) {
 	var buf bytes.Buffer
-	req, _ := http.NewRequest("POST", "http://minload"+path, strings.NewReader(body))
-	req.Header.Set("Content-Type", "application/json")
-	req.ContentLength = int64(len(body))
 	rec := &captureWriter{h: make(http.Header), body: &buf}
-	t.h.ServeHTTP(rec, req)
+	t.h.ServeHTTP(rec, t.newRequest("POST", path, body))
 	return rec.status, buf.Bytes(), nil
 }
 
 func (t *inprocTarget) get(path string) (int, []byte, error) {
 	var buf bytes.Buffer
-	req, _ := http.NewRequest("GET", "http://minload"+path, nil)
 	rec := &captureWriter{h: make(http.Header), body: &buf}
-	t.h.ServeHTTP(rec, req)
+	t.h.ServeHTTP(rec, t.newRequest("GET", path, ""))
 	return rec.status, buf.Bytes(), nil
 }
 
@@ -377,40 +477,46 @@ func jobTerminal(state string) bool {
 	return state != "pending" && state != "running"
 }
 
-// doOp issues one mix operation. Every op except job is a single POST;
-// job submits a sweep and polls until the job leaves the live states,
-// so its latency sample spans submit-to-completion. A run deadline
-// that lands mid-poll abandons the job (the server finishes it alone)
-// and reports the submit's status.
-func doOp(ctx context.Context, tgt target, name, body string) (int, error) {
+// doOp issues one mix operation and returns the status plus the wire
+// bytes it moved (request bodies out, response bodies in). Every op
+// except job is a single POST; job submits a sweep and polls until the
+// job leaves the live states, so its latency sample spans
+// submit-to-completion and its byte counts include the polling. A run
+// deadline that lands mid-poll abandons the job (the server finishes
+// it alone) and reports the submit's status.
+func doOp(ctx context.Context, tgt target, name, body string) (status, bytesOut, bytesIn int, err error) {
+	bytesOut = len(body)
 	if name != "job" {
-		return tgt.post("/v1/"+name, body)
+		status, n, err := tgt.post("/v1/"+endpointFor(name), body)
+		return status, bytesOut, n, err
 	}
 	status, resp, err := tgt.postRead("/v1/jobs", body)
+	bytesIn = len(resp)
 	if err != nil || status != http.StatusAccepted {
-		return status, err
+		return status, bytesOut, bytesIn, err
 	}
 	var st jobStatus
 	if err := json.Unmarshal(resp, &st); err != nil {
-		return 0, fmt.Errorf("job submit response: %w", err)
+		return 0, bytesOut, bytesIn, fmt.Errorf("job submit response: %w", err)
 	}
 	for !jobTerminal(st.State) {
 		if ctx.Err() != nil {
-			return status, nil
+			return status, bytesOut, bytesIn, nil
 		}
 		time.Sleep(jobPollInterval)
 		code, b, err := tgt.get("/v1/jobs/" + st.ID)
+		bytesIn += len(b)
 		if err != nil || code != http.StatusOK {
-			return code, err
+			return code, bytesOut, bytesIn, err
 		}
 		if err := json.Unmarshal(b, &st); err != nil {
-			return 0, fmt.Errorf("job status response: %w", err)
+			return 0, bytesOut, bytesIn, fmt.Errorf("job status response: %w", err)
 		}
 	}
 	if st.State != "done" {
-		return http.StatusInternalServerError, nil
+		return http.StatusInternalServerError, bytesOut, bytesIn, nil
 	}
-	return http.StatusOK, nil
+	return http.StatusOK, bytesOut, bytesIn, nil
 }
 
 // --- report ---------------------------------------------------------
@@ -423,10 +529,19 @@ type latencyReport struct {
 	MaxUs  float64 `json:"maxUs"`
 }
 
-// report is the committed/gated artifact (BENCH_SERVE_7.json).
+// opReport is one op's traffic share of the run.
+type opReport struct {
+	Requests uint64 `json:"requests"`
+	BytesIn  uint64 `json:"bytesIn"`
+	BytesOut uint64 `json:"bytesOut"`
+}
+
+// report is one codec's row of the committed/gated artifact
+// (BENCH_SERVE_10.json holds one per codec under "codecs").
 type report struct {
 	Mode        string        `json:"mode"` // "closed" or "open"
 	Mix         string        `json:"mix"`
+	Codec       string        `json:"codec"`
 	Conns       int           `json:"conns"`
 	DurationSec float64       `json:"durationSec"`
 	RefCheckUs  float64       `json:"refCheckUs"`
@@ -437,6 +552,17 @@ type report struct {
 	OfferedRPS  float64       `json:"offeredRPS,omitempty"`
 	ServedRPS   float64       `json:"servedRPS"`
 	Latency     latencyReport `json:"latency"`
+
+	// Ops breaks traffic down per mix op; bytesIn/bytesOut make the
+	// wire-size delta between codecs a committed, gateable number.
+	Ops map[string]opReport `json:"ops,omitempty"`
+}
+
+// codecBaselines is the BENCH_SERVE_10.json envelope: one report per
+// codec, keyed "json"/"bin", so a single committed file gates both
+// wire formats.
+type codecBaselines struct {
+	Codecs map[string]report `json:"codecs"`
 }
 
 // --- main loop ------------------------------------------------------
@@ -451,6 +577,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	ramp := fs.String("ramp", "", "open-loop rate ramp start:end over the run (overrides -rps)")
 	conns := fs.Int("conns", 8, "concurrent workers (closed loop) / max outstanding (open loop)")
 	mixSpec := fs.String("mix", "check=0.55,route=0.25,simulate=0.1,batch=0.1", "weighted op mix")
+	codecName := fs.String("codec", "json", "wire codec for the generated load: json or bin")
 	stages := fs.Int("stages", 6, "largest network stages in the generated workload")
 	waves := fs.Int("waves", 32, "waves per generated simulate request")
 	distinct := fs.Int("distinct", 16, "distinct request variants per op (cache realism)")
@@ -468,34 +595,48 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if (*addr == "") == !*inproc {
 		return fmt.Errorf("exactly one of -addr or -inprocess is required")
 	}
+	if *codecName != "json" && *codecName != "bin" {
+		return fmt.Errorf("-codec must be json or bin, got %q", *codecName)
+	}
+	binary := *codecName == "bin"
 
-	var tgt target
+	// calTgt always speaks JSON: refCheckUs must measure the same thing
+	// on every run so the cross-machine normalization stays comparable
+	// across codec rows.
+	var tgt, calTgt target
 	if *inproc {
-		tgt = &inprocTarget{h: minserve.NewHandler(minserve.Config{})}
+		h := minserve.NewHandler(minserve.Config{})
+		tgt = &inprocTarget{h: h, binary: binary}
+		calTgt = &inprocTarget{h: h}
 	} else {
-		tgt = &httpTarget{
-			base: "http://" + *addr,
-			client: &http.Client{
-				Transport: &http.Transport{MaxIdleConnsPerHost: *conns * 2},
-				Timeout:   30 * time.Second,
-			},
+		client := &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: *conns * 2},
+			Timeout:   30 * time.Second,
 		}
+		tgt = &httpTarget{base: "http://" + *addr, client: client, binary: binary}
+		calTgt = &httpTarget{base: "http://" + *addr, client: client}
 	}
 
 	ops, err := buildMix(*mixSpec, *stages, *waves, *distinct)
 	if err != nil {
 		return err
 	}
+	if binary {
+		if err := transcodeMix(ops); err != nil {
+			return err
+		}
+	}
 
 	// Calibration: median serial warm-check latency, for cross-machine
 	// normalization of the committed baseline.
-	refUs, err := calibrate(tgt)
+	refUs, err := calibrate(calTgt)
 	if err != nil {
 		return fmt.Errorf("calibration: %w", err)
 	}
 
 	rep := report{
 		Mix:        *mixSpec,
+		Codec:      *codecName,
 		Conns:      *conns,
 		RefCheckUs: refUs,
 	}
@@ -519,12 +660,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	// runtime.
 	if *warmup > 0 {
 		warmCtx, cancel := context.WithTimeout(ctx, *warmup)
-		runClosed(warmCtx, tgt, ops, *conns, *seed+1, nil, nil)
+		runClosed(warmCtx, tgt, ops, *conns, *seed+1, nil, nil, nil)
 		cancel()
 	}
 
 	runCtx, cancel := context.WithTimeout(ctx, *duration)
 	defer cancel()
+	counters := make([]opCounters, len(ops))
 	var (
 		merged   hist
 		requests uint64
@@ -536,14 +678,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	startT := time.Now()
 	if open {
 		rep.Mode = "open"
-		requests, errsN, shed, dropped = runOpen(runCtx, tgt, ops, *conns, *seed, rampStart, rampEnd, *duration, &merged)
+		requests, errsN, shed, dropped = runOpen(runCtx, tgt, ops, *conns, *seed, rampStart, rampEnd, *duration, &merged, counters)
 		offered := (rampStart + rampEnd) / 2
 		rep.OfferedRPS = offered
 		rep.Dropped = dropped
 	} else {
 		rep.Mode = "closed"
 		var errCount, shedCount atomic.Uint64
-		requests = runClosed(runCtx, tgt, ops, *conns, *seed, &merged, func(status int) {
+		requests = runClosed(runCtx, tgt, ops, *conns, *seed, &merged, counters, func(status int) {
 			switch {
 			case status == http.StatusTooManyRequests:
 				shedCount.Add(1)
@@ -554,6 +696,15 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		errsN, shed = errCount.Load(), shedCount.Load()
 	}
 	elapsed = time.Since(startT)
+
+	rep.Ops = make(map[string]opReport, len(ops))
+	for i := range ops {
+		rep.Ops[ops[i].name] = opReport{
+			Requests: counters[i].requests.Load(),
+			BytesIn:  counters[i].bytesIn.Load(),
+			BytesOut: counters[i].bytesOut.Load(),
+		}
+	}
 
 	rep.DurationSec = elapsed.Seconds()
 	rep.Requests = requests
@@ -604,14 +755,14 @@ func calibrate(tgt target) (float64, error) {
 	const body = `{"network":"omega","stages":4}`
 	// Warm the cache first.
 	for i := 0; i < 10; i++ {
-		if status, err := tgt.post("/v1/check", body); err != nil || status != http.StatusOK {
+		if status, _, err := tgt.post("/v1/check", body); err != nil || status != http.StatusOK {
 			return 0, fmt.Errorf("warm check: status %d err %v", status, err)
 		}
 	}
 	samples := make([]float64, 300)
 	for i := range samples {
 		start := time.Now()
-		if _, err := tgt.post("/v1/check", body); err != nil {
+		if _, _, err := tgt.post("/v1/check", body); err != nil {
 			return 0, err
 		}
 		samples[i] = float64(time.Since(start)) / float64(time.Microsecond)
@@ -621,8 +772,8 @@ func calibrate(tgt target) (float64, error) {
 }
 
 // runClosed drives conns workers back-to-back until ctx expires.
-// h (merged histogram) and onStatus may be nil (warmup).
-func runClosed(ctx context.Context, tgt target, ops []op, conns int, seed int64, h *hist, onStatus func(int)) uint64 {
+// h (merged histogram), counters, and onStatus may be nil (warmup).
+func runClosed(ctx context.Context, tgt target, ops []op, conns int, seed int64, h *hist, counters []opCounters, onStatus func(int)) uint64 {
 	var total atomic.Uint64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -637,12 +788,18 @@ func runClosed(ctx context.Context, tgt target, ops []op, conns int, seed int64,
 				o := pick(ops, rng)
 				body := o.bodies[rng.IntN(len(o.bodies))]
 				start := time.Now()
-				status, err := doOp(ctx, tgt, o.name, body)
+				status, bOut, bIn, err := doOp(ctx, tgt, o.name, body)
 				if err != nil {
 					status = 0
 				}
 				local.add(time.Since(start))
 				n++
+				if counters != nil {
+					cnt := &counters[o.idx]
+					cnt.requests.Add(1)
+					cnt.bytesOut.Add(uint64(bOut))
+					cnt.bytesIn.Add(uint64(bIn))
+				}
 				if onStatus != nil {
 					if err != nil {
 						onStatus(599)
@@ -667,8 +824,11 @@ func runClosed(ctx context.Context, tgt target, ops []op, conns int, seed int64,
 // a central pacer; conns workers consume them. Arrivals that find the
 // queue full are dropped and counted — open-loop honesty: a saturated
 // server must not slow the arrival process down.
-func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, rateStart, rateEnd float64, dur time.Duration, h *hist) (requests, errsN, shed, dropped uint64) {
-	type job struct{ op, body string }
+func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, rateStart, rateEnd float64, dur time.Duration, h *hist, counters []opCounters) (requests, errsN, shed, dropped uint64) {
+	type job struct {
+		op, body string
+		idx      int
+	}
 	queue := make(chan job, conns*2)
 	var errCount, shedCount, dropCount, total atomic.Uint64
 	var mu sync.Mutex
@@ -680,9 +840,15 @@ func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, r
 			local := &hist{}
 			for j := range queue {
 				start := time.Now()
-				status, err := doOp(ctx, tgt, j.op, j.body)
+				status, bOut, bIn, err := doOp(ctx, tgt, j.op, j.body)
 				local.add(time.Since(start))
 				total.Add(1)
+				if counters != nil {
+					cnt := &counters[j.idx]
+					cnt.requests.Add(1)
+					cnt.bytesOut.Add(uint64(bOut))
+					cnt.bytesIn.Add(uint64(bIn))
+				}
 				switch {
 				case err != nil:
 					errCount.Add(1)
@@ -711,7 +877,7 @@ func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, r
 		}
 		interval := time.Duration(float64(time.Second) / rate)
 		o := pick(ops, rng)
-		j := job{op: o.name, body: o.bodies[rng.IntN(len(o.bodies))]}
+		j := job{op: o.name, body: o.bodies[rng.IntN(len(o.bodies))], idx: o.idx}
 		select {
 		case queue <- j:
 		default:
@@ -731,13 +897,22 @@ func runOpen(ctx context.Context, tgt target, ops []op, conns int, seed int64, r
 
 // gate compares the run against a committed baseline, normalized by
 // the refCheckUs ratio so a slower runner is not a false regression.
+// A codec-split baseline ({"codecs":{"json":{...},"bin":{...}}}) gates
+// the row matching the run's -codec; a legacy flat report gates as-is.
 func gate(w io.Writer, cur report, baselinePath string, maxRegress float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
+	var split codecBaselines
 	var base report
-	if err := json.Unmarshal(data, &base); err != nil {
+	if err := json.Unmarshal(data, &split); err == nil && len(split.Codecs) > 0 {
+		row, ok := split.Codecs[cur.Codec]
+		if !ok {
+			return fmt.Errorf("baseline %s has no %q codec row", baselinePath, cur.Codec)
+		}
+		base = row
+	} else if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", baselinePath, err)
 	}
 	if base.RefCheckUs <= 0 || cur.RefCheckUs <= 0 {

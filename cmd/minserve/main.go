@@ -1,6 +1,9 @@
-// Command minserve serves the min public API over HTTP JSON: the
-// network catalog, the paper's characterization check, bit-directed
-// routing and the parallel traffic-simulation engine.
+// Command minserve serves the min public API over HTTP: the network
+// catalog, the paper's characterization check, bit-directed routing
+// and the parallel traffic-simulation engine. Bodies are JSON by
+// default; clients may negotiate the binary wire codec per request
+// with Content-Type / Accept: application/x-min-bin (sweep-sized
+// fault plans shrink ~9x on the wire — see the minserve package doc).
 //
 // Usage:
 //

@@ -18,7 +18,9 @@
 // (min.Route, min.TagPositions) and run the parallel simulation engine
 // (min.Simulate, min.SimulateBuffered with functional options and
 // context cancellation). The package minserve serves that API over
-// HTTP JSON, and cmd/minserve is its binary. Everything under
+// HTTP — JSON by default, with a negotiated binary wire codec
+// (Content-Type/Accept: application/x-min-bin) for the hot request
+// and response shapes — and cmd/minserve is its binary. Everything under
 // internal/ is plumbing with no stability promise; all CLIs (except
 // the module-internal cmd/minbench) and all examples consume only the
 // public API.
@@ -26,8 +28,9 @@
 // Layout:
 //
 //	min                  the public façade API (start here)
-//	minserve             HTTP JSON service over min (library)
+//	minserve             HTTP service over min (library; JSON + binary codec)
 //	internal/bitops      label bit manipulation
+//	internal/codec       wire shapes and their binary frame rendering
 //	internal/gf2         GF(2) linear algebra and affine maps
 //	internal/perm        permutations on symbols (link level)
 //	internal/pipid       index-digit permutations (PIPID, BPC)

@@ -27,3 +27,7 @@ const (
 	CodeJobGone    = "job_gone"
 	CodeJobTainted = "job_tainted"
 )
+
+// Negotiation codes: the wire-codec layer registers its 415 the same
+// way, mirroring minserve's unsupported_media_type.
+const CodeUnsupportedMediaType = "unsupported_media_type"

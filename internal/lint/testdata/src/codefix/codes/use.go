@@ -61,3 +61,12 @@ func jobLiteral() detail {
 func jobUnregistered(e *httpError) {
 	e.code = "job_lost" // want `error code "job_lost" is not registered`
 }
+
+// negotiation mirrors content negotiation's 415: the registered
+// constant is fine, the inline spelling must name the constant.
+func negotiation(ok bool) *httpError {
+	if ok {
+		return &httpError{status: 415, code: CodeUnsupportedMediaType, msg: "use application/json"}
+	}
+	return &httpError{status: 415, code: "unsupported_media_type"} // want `error code "unsupported_media_type" written as a string literal`
+}

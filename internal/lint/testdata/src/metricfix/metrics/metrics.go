@@ -57,3 +57,13 @@ func jobs(w io.Writer) {
 	counter("minserve_job_shards_landed_total", "Shards checkpointed.", 12)
 	fmt.Fprintf(w, "minserve_jobs_swept_total %d\n", 3)
 }
+
+// codecs mirrors the wire-codec families: per-codec labelled counters
+// registered once per family, samples emitted per label value.
+func codecs(w io.Writer) {
+	fmt.Fprint(w, "# HELP minserve_codec_requests_total Request bodies decoded, by wire codec.\n# TYPE minserve_codec_requests_total counter\n")
+	fmt.Fprintf(w, "minserve_codec_requests_total{codec=%q} %d\n", "json", 4)
+	fmt.Fprintf(w, "minserve_codec_requests_total{codec=%q} %d\n", "bin", 2)
+	fmt.Fprint(w, "# HELP minserve_codec_responses_total Response bodies encoded, by wire codec.\n# TYPE minserve_codec_responses_total counter\n")
+	fmt.Fprintf(w, "minserve_codec_responses_total{codec=%q} %d\n", "bin", 2)
+}

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+
+	"minequiv/internal/codec"
 )
 
 // POST /v1/batch: up to Config.MaxBatch heterogeneous sub-requests in
@@ -16,33 +18,41 @@ import (
 // warm check/route batches amortize to a map probe plus a memcpy per
 // item.
 //
-// Wire format:
+// JSON wire format:
 //
 //	request:  {"requests":[{"op":"check","request":{...}}, ...]}
 //	response: {"responses":[{"op":"check","status":200,"cache":"hit","body":{...}}, ...]}
 //
-// Determinism contract: every sub-response "body" is byte-identical to
-// the body the single endpoint returns for the same sub-request bytes,
-// and the envelope itself is a pure function of (request, cache state)
-// — the per-item "cache" field (present on check/route only) reports
-// hit or miss exactly as the X-Cache header would have. Sub-request
-// errors do not fail the batch; they surface positionally with their
-// own status and structured error body. The batch response is never
-// cached as a unit — its items already were.
+// The envelope negotiates codecs like the single endpoints: a binary
+// envelope (Content-Type: application/x-min-bin) carries a per-item
+// binary flag so JSON and binary sub-request bodies can mix, while the
+// JSON envelope carries JSON sub-requests only. The response codec
+// follows Accept independently of the request's; inside a binary
+// response envelope each 2xx sub-body is rendered in that codec and
+// error sub-bodies stay JSON envelopes.
+//
+// Determinism contract: every sub-response body is byte-identical to
+// the body the single endpoint returns for the same sub-request bytes
+// under the same codecs, and the envelope itself is a pure function of
+// (request, cache state) — the per-item cache attribution (check/route
+// only) reports hit or miss exactly as the X-Cache header would have.
+// Sub-request errors do not fail the batch; they surface positionally
+// with their own status and structured error body. The batch response
+// is never cached as a unit — its items already were.
 
-// batchItem is one sub-request: the operation and its verbatim single-
-// endpoint request body. Raw bytes are preserved (not re-marshalled) so
-// the cache's raw lookaside sees exactly what a single call would send.
-type batchItem struct {
-	Op      string          `json:"op"` // "check", "route" or "simulate"
-	Request json.RawMessage `json:"request"`
-}
-
-type batchRequest struct {
-	Requests []batchItem `json:"requests"`
-}
+// batchItem and batchRequest are the wire shapes, aliased from
+// internal/codec (where both their JSON tags and binary layout live).
+type (
+	batchItem    = codec.BatchItem
+	batchRequest = codec.BatchRequest
+)
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	wi, err := s.negotiate(r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
 	body, release, err := s.readBody(w, r)
 	if err != nil {
 		writeErr(w, r, err)
@@ -50,7 +60,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	var req batchRequest
-	if err := decodeBytes(body, &req); err != nil {
+	if err := decodeRequest(wi, body, &req); err != nil {
 		writeErr(w, r, err)
 		return
 	}
@@ -62,8 +72,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, limitExceeded("batch too large: %d items > %d", len(req.Requests), s.cfg.MaxBatch))
 		return
 	}
+	if wi.respBin {
+		s.writeBatchBinary(w, r, &req)
+		return
+	}
 
-	// The response is hand-assembled: sub-bodies are spliced in as
+	// The JSON response is hand-assembled: sub-bodies are spliced in as
 	// pre-rendered bytes (no re-encode, no re-ordering of their keys),
 	// which is both the amortization and the byte-determinism argument.
 	out := bodyPool.Get().(*bytes.Buffer)
@@ -87,8 +101,33 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSONBytes(w, http.StatusOK, out.Bytes(), nil)
 }
 
-// execBatchItem renders one positional sub-response into out.
-func (s *server) execBatchItem(ctx context.Context, out *bytes.Buffer, item batchItem) {
+// writeBatchBinary answers a batch with a binary response envelope:
+// positional BatchResults whose bodies are the single-endpoint
+// responses rendered binary (errors stay JSON envelopes).
+func (s *server) writeBatchBinary(w http.ResponseWriter, r *http.Request, req *batchRequest) {
+	ctx := r.Context()
+	resp := codec.BatchResponse{Responses: make([]codec.BatchResult, 0, len(req.Requests))}
+	for _, item := range req.Requests {
+		if err := ctx.Err(); err == context.Canceled {
+			return
+		}
+		body, status, attr := s.runBatchItem(ctx, item, wire{reqBin: item.Bin, respBin: true})
+		resp.Responses = append(resp.Responses, codec.BatchResult{
+			Op: item.Op, Status: status, Cache: attr, Body: body,
+		})
+	}
+	out, err := codec.Encode(&resp)
+	if err != nil { // cannot happen: the envelope is plain data
+		writeErr(w, r, err)
+		return
+	}
+	writeWireBytes(w, http.StatusOK, out, nil, true)
+}
+
+// runBatchItem executes one sub-request under its codec pair and
+// returns the rendered body, the status, and the cache attribution
+// (codec.CacheNone for ops without one, and for errors).
+func (s *server) runBatchItem(ctx context.Context, item batchItem, wi wire) ([]byte, int, uint8) {
 	var (
 		body []byte
 		hit  bool
@@ -98,12 +137,12 @@ func (s *server) execBatchItem(ctx context.Context, out *bytes.Buffer, item batc
 	switch item.Op {
 	case "check":
 		attr = true
-		body, hit, err = s.execCheck(item.Request)
+		body, hit, err = s.execCheck(wi, item.Request)
 	case "route":
 		attr = true
-		body, hit, err = s.execRoute(item.Request)
+		body, hit, err = s.execRoute(wi, item.Request)
 	case "simulate":
-		body, err = s.execSimulate(ctx, item.Request)
+		body, err = s.execSimulate(ctx, wi, item.Request)
 	default:
 		err = badRequest("unknown op %q (check, route or simulate)", item.Op)
 	}
@@ -112,6 +151,19 @@ func (s *server) execBatchItem(ctx context.Context, out *bytes.Buffer, item batc
 		body, status = encodeErr(err)
 		attr = false
 	}
+	switch {
+	case !attr || s.cache == nil:
+		return body, status, codec.CacheNone
+	case hit:
+		return body, status, codec.CacheHit
+	default:
+		return body, status, codec.CacheMiss
+	}
+}
+
+// execBatchItem renders one positional JSON sub-response into out.
+func (s *server) execBatchItem(ctx context.Context, out *bytes.Buffer, item batchItem) {
+	body, status, attr := s.runBatchItem(ctx, item, wire{reqBin: item.Bin})
 
 	// {"op":<op>,"status":N[,"cache":"hit|miss"],"body":<bytes sans \n>}
 	out.WriteString(`{"op":`)
@@ -131,12 +183,11 @@ func (s *server) execBatchItem(ctx context.Context, out *bytes.Buffer, item batc
 	out.WriteString(`,"status":`)
 	var statusBuf [3]byte
 	out.Write(strconv.AppendInt(statusBuf[:0], int64(status), 10))
-	if attr && s.cache != nil {
-		if hit {
-			out.WriteString(`,"cache":"hit"`)
-		} else {
-			out.WriteString(`,"cache":"miss"`)
-		}
+	switch attr {
+	case codec.CacheHit:
+		out.WriteString(`,"cache":"hit"`)
+	case codec.CacheMiss:
+		out.WriteString(`,"cache":"miss"`)
 	}
 	out.WriteString(`,"body":`)
 	// Single-endpoint bodies end in the json.Encoder newline; splice

@@ -183,12 +183,14 @@ func writeJSONBytes(w http.ResponseWriter, status int, body []byte, xCache []str
 }
 
 // computeCached answers from the cache when possible; otherwise it runs
-// compute, renders it, and caches the body (raw-indexing it under
-// rawBody when non-nil). It returns the response bytes and whether the
-// cache answered, so both the single handlers and the batch endpoint
-// share one execution path. Only successful responses are cached —
-// errors stay uncached.
-func (s *server) computeCached(key, endpoint string, rawBody []byte, compute func() (any, error)) ([]byte, bool, error) {
+// compute, renders it through render (the negotiated response codec),
+// and caches the body (raw-indexing it under rawBody when non-nil). It
+// returns the response bytes and whether the cache answered, so both
+// the single handlers and the batch endpoint share one execution path.
+// Only successful responses are cached — errors stay uncached. Callers
+// fold the codec into key and endpoint, so a hit always replays bytes
+// rendered the way this request asked for.
+func (s *server) computeCached(key, endpoint string, rawBody []byte, render func(any) ([]byte, error), compute func() (any, error)) ([]byte, bool, error) {
 	if s.cache != nil {
 		if body, ok := s.cache.get(key); ok {
 			return body, true, nil
@@ -198,7 +200,7 @@ func (s *server) computeCached(key, endpoint string, rawBody []byte, compute fun
 	if err != nil {
 		return nil, false, err
 	}
-	body, err := encodeJSON(v)
+	body, err := render(v)
 	if err != nil {
 		return nil, false, err
 	}

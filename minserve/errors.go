@@ -45,6 +45,10 @@ const (
 	// validation at resume; its prior progress cannot be trusted and the
 	// job is failed rather than silently recomputed.
 	CodeCheckpointCorrupt = "checkpoint_corrupt"
+	// CodeUnsupportedMediaType: the request's Content-Type names a wire
+	// codec the server does not speak; the work endpoints accept
+	// application/json (default) and application/x-min-bin.
+	CodeUnsupportedMediaType = "unsupported_media_type"
 )
 
 // errorDetail is the structured error object every non-2xx response
@@ -90,6 +94,13 @@ func unknownNetwork(err error) error {
 	return &httpError{status: http.StatusBadRequest, code: CodeUnknownNetwork, msg: err.Error()}
 }
 
+// unsupportedMediaType is the 415 a request earns by naming a wire
+// codec the server does not speak in its Content-Type.
+func unsupportedMediaType(mediaType string) error {
+	return &httpError{status: http.StatusUnsupportedMediaType, code: CodeUnsupportedMediaType,
+		msg: fmt.Sprintf("unsupported media type %q (use application/json or %s)", mediaType, MediaTypeBinary)}
+}
+
 // errOverloaded is the load-shedding error; the admission layer sets
 // Retry-After before writing it.
 var errOverloaded = &httpError{
@@ -104,6 +115,8 @@ func defaultCode(status int) string {
 	switch status {
 	case http.StatusRequestEntityTooLarge:
 		return CodeLimitExceeded
+	case http.StatusUnsupportedMediaType:
+		return CodeUnsupportedMediaType
 	case http.StatusTooManyRequests:
 		return CodeOverloaded
 	case http.StatusServiceUnavailable:

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"minequiv/internal/codec"
 	"minequiv/internal/jobs"
 )
 
@@ -64,7 +66,15 @@ func (s *server) checkJobSpec(spec jobs.Spec) error {
 
 // handleJobSubmit is POST /v1/jobs (dispatched through handleWork, so
 // submissions compete for admission slots with the synchronous work).
+// The spec body negotiates its codec like the other work endpoints;
+// the 202 status response stays JSON — submission is not a hot path,
+// and the Location header is the part a client machine-reads.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	wi, err := s.negotiate(r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
 	body, release, err := s.readBody(w, r)
 	if err != nil {
 		writeErr(w, r, err)
@@ -72,7 +82,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	var spec jobs.Spec
-	if err := decodeBytes(body, &spec); err != nil {
+	if err := decodeRequest(wi, body, &spec); err != nil {
 		writeErr(w, r, err)
 		return
 	}
@@ -116,18 +126,58 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// handleJobResult serves the finalized result verbatim: the bytes on
-// the wire are the bytes in the manifest, identical across restarts
-// and re-reads.
+// handleJobResult serves the finalized result: by default the manifest
+// bytes verbatim — identical across restarts and re-reads — or, when
+// the client Accepts application/x-min-bin, the manifest transcoded to
+// one binary JobResult frame (equally byte-stable: the frame is a pure
+// function of the manifest). Either representation carries a strong
+// ETag (CRC of the served bytes), and If-None-Match answers 304 so
+// pollers of a large finished sweep stop re-downloading it.
 func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	data, err := s.jobs.Result(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, r, jobErr(err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	bin := acceptsBinary(r)
+	if bin {
+		var res jobs.Result
+		if err := json.Unmarshal(data, &res); err != nil {
+			writeErr(w, r, &httpError{status: http.StatusInternalServerError, code: CodeInternal,
+				msg: fmt.Sprintf("result manifest unreadable: %v", err)})
+			return
+		}
+		if data, err = codec.Encode(&res); err != nil {
+			writeErr(w, r, &httpError{status: http.StatusInternalServerError, code: CodeInternal, msg: err.Error()})
+			return
+		}
+	}
+	etag := fmt.Sprintf("\"%08x\"", crc32.ChecksumIEEE(data))
+	h := w.Header()
+	h.Set("ETag", etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if bin {
+		h["Content-Type"] = headerBin
+	} else {
+		h.Set("Content-Type", "application/json")
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)
+}
+
+// etagMatches implements If-None-Match: a comma-separated list of
+// entity tags (weak validators compare by opaque tag), or "*".
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimPrefix(strings.TrimSpace(part), "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

@@ -47,6 +47,11 @@ type metrics struct {
 	bytesIn      atomic.Uint64
 	bytesOut     atomic.Uint64
 
+	codecReqJSON  atomic.Uint64
+	codecReqBin   atomic.Uint64
+	codecRespJSON atomic.Uint64
+	codecRespBin  atomic.Uint64
+
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 }
@@ -69,6 +74,20 @@ func (m *metrics) enterInFlight() {
 }
 
 func (m *metrics) leaveInFlight() { m.inFlight.Add(-1) }
+
+// countWire accounts one negotiated work request's codec pair.
+func (m *metrics) countWire(wi wire) {
+	if wi.reqBin {
+		m.codecReqBin.Add(1)
+	} else {
+		m.codecReqJSON.Add(1)
+	}
+	if wi.respBin {
+		m.codecRespBin.Add(1)
+	} else {
+		m.codecRespJSON.Add(1)
+	}
+}
 
 // record accounts one finished request.
 func (m *metrics) record(endpoint string, status int, dur time.Duration, bytesIn, bytesOut int64) {
@@ -185,6 +204,15 @@ func (m *metrics) render(buf *bytes.Buffer, cache CacheStats, js jobs.Stats) {
 		m.disconnects.Load())
 	counter("minserve_request_bytes_total", "Request body bytes received.", m.bytesIn.Load())
 	counter("minserve_response_bytes_total", "Response body bytes written.", m.bytesOut.Load())
+
+	buf.WriteString("# HELP minserve_codec_requests_total Work request bodies negotiated, by request codec.\n")
+	buf.WriteString("# TYPE minserve_codec_requests_total counter\n")
+	fmt.Fprintf(buf, "minserve_codec_requests_total{codec=\"json\"} %d\n", m.codecReqJSON.Load())
+	fmt.Fprintf(buf, "minserve_codec_requests_total{codec=\"bin\"} %d\n", m.codecReqBin.Load())
+	buf.WriteString("# HELP minserve_codec_responses_total Work responses negotiated, by response codec.\n")
+	buf.WriteString("# TYPE minserve_codec_responses_total counter\n")
+	fmt.Fprintf(buf, "minserve_codec_responses_total{codec=\"json\"} %d\n", m.codecRespJSON.Load())
+	fmt.Fprintf(buf, "minserve_codec_responses_total{codec=\"bin\"} %d\n", m.codecRespBin.Load())
 
 	counter("minserve_cache_hits_total", "Response cache hits (raw lookaside included).", cache.Hits)
 	counter("minserve_cache_misses_total", "Response cache misses.", cache.Misses)

@@ -6,7 +6,9 @@
 // checking, routing and traffic simulation to external consumers at
 // production load, including sweeps too long for one request.
 //
-// Endpoints (JSON unless noted):
+// Endpoints (JSON unless noted; the POST work endpoints and the job
+// result additionally speak the negotiated binary wire codec — see
+// the codec paragraph below):
 //
 //	GET  /v1/networks   the catalog and the scenario registry
 //	GET  /v1/limits     every operator-configured request/serving limit
@@ -49,6 +51,17 @@
 // to the simulation engine, so a client that disconnects mid-simulation
 // stops the run within one trial (batches stop within one sub-request).
 //
+// The work endpoints speak two wire codecs, negotiated per request:
+// JSON (the default, byte-for-byte stable) and the internal/codec
+// binary frame format. Content-Type: application/x-min-bin submits a
+// binary request body, Accept: application/x-min-bin asks for a binary
+// response, and the two directions are independent; any other
+// Content-Type is rejected 415 unsupported_media_type. Binary
+// sub-requests ride inside a binary /v1/batch envelope (flagged per
+// item), POST /v1/jobs accepts a binary sweep spec, and GET
+// /v1/jobs/{id}/result transcodes the manifest to binary on Accept.
+// Error envelopes are always JSON.
+//
 // Errors use a structured envelope with stable machine-readable codes:
 //
 //	{"error":{"code":"bad_request","message":"...","status":400},"message":"..."}
@@ -82,6 +95,7 @@ import (
 	"sync"
 	"time"
 
+	"minequiv/internal/codec"
 	"minequiv/internal/jobs"
 	"minequiv/min"
 )
@@ -209,7 +223,7 @@ func (c Config) withDefaults() Config {
 }
 
 // Version identifies the service build; /v1/healthz reports it.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 type server struct {
 	cfg     Config
@@ -374,15 +388,19 @@ func decodeBytes(data []byte, v any) error {
 	return nil
 }
 
-// networkSpec names or defines the network a request operates on:
-// either a catalog name (or "tail-cycle") with a stage count, or
-// explicit per-stage permutations.
-type networkSpec struct {
-	Network    string  `json:"network,omitempty"`
-	Stages     int     `json:"stages"`
-	LinkPerms  [][]int `json:"linkPerms,omitempty"`
-	IndexPerms [][]int `json:"indexPerms,omitempty"`
-}
+// The wire shapes of the work endpoints live in internal/codec — they
+// are the single source of truth for both renderings (their JSON tags
+// are this package's JSON API, their codec methods the binary one) —
+// and are aliased here so the handlers read as before.
+type (
+	networkSpec      = codec.NetworkSpec
+	checkRequest     = codec.CheckRequest
+	checkResponse    = codec.CheckResponse
+	routeRequest     = codec.RouteRequest
+	routeResponse    = codec.RouteResponse
+	simulateRequest  = codec.SimulateRequest
+	simulateResponse = codec.SimulateResponse
+)
 
 // TailCycleName requests the paper's Banyan-but-not-equivalent
 // counterexample in a networkSpec.
@@ -486,46 +504,36 @@ func (s *server) handleLimits(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// checkRequest asks for the characterization report of one network;
-// with Iso true the explicit isomorphism onto Baseline is included
-// (only present when the network is equivalent).
-type checkRequest struct {
-	networkSpec
-	Iso bool `json:"iso,omitempty"`
-}
-
-type checkResponse struct {
-	Report min.Report       `json:"report"`
-	Iso    *min.Isomorphism `json:"iso,omitempty"`
-}
-
 // execCheck serves one /v1/check body to rendered response bytes
-// (trailing newline included), reporting whether the cache answered.
-// Both the single handler and the batch endpoint call it, so a batch
-// sub-response is byte-identical to the single call's body.
-func (s *server) execCheck(body []byte) ([]byte, bool, error) {
+// (trailing newline included on JSON), reporting whether the cache
+// answered. Both the single handler and the batch endpoint call it, so
+// a batch sub-response is byte-identical to the single call's body.
+func (s *server) execCheck(wi wire, body []byte) ([]byte, bool, error) {
 	// Fast path: a byte-identical repeat of an earlier successful
 	// request replays its response straight from the raw lookaside,
-	// skipping the JSON decode, the network build and the key render.
+	// skipping the request decode, the network build and the key render.
+	// The lookaside namespace carries the codec pair, so a hit can only
+	// replay bytes rendered under the same response codec.
 	if s.cache != nil {
-		if cached, ok := s.cache.getRaw("check", body); ok {
+		if cached, ok := s.cache.getRaw(rawEndpoint("check", wi), body); ok {
 			return cached, true, nil
 		}
 	}
 	var req checkRequest
-	if err := decodeBytes(body, &req); err != nil {
+	if err := decodeRequest(wi, body, &req); err != nil {
 		return nil, false, err
 	}
-	nw, err := s.buildNetwork(req.networkSpec)
+	nw, err := s.buildNetwork(req.NetworkSpec)
 	if err != nil {
 		return nil, false, err
 	}
 	// Building the network is cheap; the characterization (and the
 	// isomorphism construction) is what the cache skips. The key folds
 	// in everything the body depends on: the wiring (canonical arc
-	// hash), the reported name/size, and the iso flag.
-	key := fmt.Sprintf("check|%016x|%s|%d|iso=%t", nw.Fingerprint(), nw.Name(), nw.Stages(), req.Iso)
-	return s.computeCached(key, "check", body, func() (any, error) {
+	// hash), the reported name/size, the iso flag, and the response
+	// codec (the cached value is rendered bytes, not the struct).
+	key := fmt.Sprintf("check|%016x|%s|%d|iso=%t|bin=%t", nw.Fingerprint(), nw.Name(), nw.Stages(), req.Iso, wi.respBin)
+	return s.computeCached(key, rawEndpoint("check", wi), body, renderFor(wi), func() (any, error) {
 		resp := checkResponse{Report: min.Check(nw)}
 		if req.Iso && resp.Report.Equivalent {
 			iso, err := min.Iso(nw)
@@ -539,18 +547,23 @@ func (s *server) execCheck(body []byte) ([]byte, bool, error) {
 }
 
 func (s *server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	wi, err := s.negotiate(r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
 	body, release, err := s.readBody(w, r)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
 	defer release()
-	resp, hit, err := s.execCheck(body)
+	resp, hit, err := s.execCheck(wi, body)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
-	writeJSONBytes(w, http.StatusOK, resp, s.cacheHeader(hit))
+	writeWireBytes(w, http.StatusOK, resp, s.cacheHeader(hit), wi.respBin)
 }
 
 // cacheHeader picks the X-Cache value; nil (no header) when caching is
@@ -631,37 +644,19 @@ func (s *server) checkFaults(p *min.FaultPlan) error {
 	return nil
 }
 
-type routeRequest struct {
-	networkSpec
-	Src int `json:"src"`
-	Dst int `json:"dst"`
-	// Faults degrades the fabric: the route then avoids the plan's
-	// pinned dead/stuck switches and severed links (random rates are
-	// rejected — routing has no trial to sample them in).
-	Faults *min.FaultPlan `json:"faults,omitempty"`
-}
-
-type routeResponse struct {
-	Network string   `json:"network"`
-	Path    min.Path `json:"path"`
-	// TagPositions is the bit-directed routing schedule, present for
-	// PIPID-defined networks.
-	TagPositions []int `json:"tagPositions,omitempty"`
-}
-
 // execRoute serves one /v1/route body to rendered response bytes; see
 // execCheck for the contract.
-func (s *server) execRoute(body []byte) ([]byte, bool, error) {
+func (s *server) execRoute(wi wire, body []byte) ([]byte, bool, error) {
 	if s.cache != nil {
-		if cached, ok := s.cache.getRaw("route", body); ok {
+		if cached, ok := s.cache.getRaw(rawEndpoint("route", wi), body); ok {
 			return cached, true, nil
 		}
 	}
 	var req routeRequest
-	if err := decodeBytes(body, &req); err != nil {
+	if err := decodeRequest(wi, body, &req); err != nil {
 		return nil, false, err
 	}
-	nw, err := s.buildNetwork(req.networkSpec)
+	nw, err := s.buildNetwork(req.NetworkSpec)
 	if err != nil {
 		return nil, false, err
 	}
@@ -684,9 +679,9 @@ func (s *server) execRoute(body []byte) ([]byte, bool, error) {
 	if req.Faults != nil {
 		faults = *req.Faults
 	}
-	key := fmt.Sprintf("route|%016x|%s|%d|%v|%d>%d|faults=%+v",
-		nw.Fingerprint(), nw.Name(), nw.Stages(), thetas, req.Src, req.Dst, faults)
-	return s.computeCached(key, "route", body, func() (any, error) {
+	key := fmt.Sprintf("route|%016x|%s|%d|%v|%d>%d|faults=%+v|bin=%t",
+		nw.Fingerprint(), nw.Name(), nw.Stages(), thetas, req.Src, req.Dst, faults, wi.respBin)
+	return s.computeCached(key, rawEndpoint("route", wi), body, renderFor(wi), func() (any, error) {
 		if !faults.Empty() {
 			path, err := min.RouteUnderFaults(nw, req.Src, req.Dst, faults)
 			if err != nil {
@@ -709,73 +704,38 @@ func (s *server) execRoute(body []byte) ([]byte, bool, error) {
 }
 
 func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	wi, err := s.negotiate(r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
 	body, release, err := s.readBody(w, r)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
 	defer release()
-	resp, hit, err := s.execRoute(body)
+	resp, hit, err := s.execRoute(wi, body)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
-	writeJSONBytes(w, http.StatusOK, resp, s.cacheHeader(hit))
-}
-
-// simulateRequest runs the wave model (default) or the buffered model.
-// Zero-valued tunables take the min package defaults (waves 500,
-// replications 1, queue 4, lanes 1, cycles 5000, warmup 500 — resolved
-// before the server's limits are checked); Seed defaults to 1 so
-// unseeded requests are reproducible too.
-type simulateRequest struct {
-	networkSpec
-	Model    string  `json:"model,omitempty"` // "wave" (default) or "buffered"
-	Scenario string  `json:"scenario,omitempty"`
-	Load     float64 `json:"load,omitempty"`
-	HotDst   int     `json:"hotDst,omitempty"`
-	HotProb  float64 `json:"hotProb,omitempty"`
-	Seed     uint64  `json:"seed,omitempty"`
-	Workers  int     `json:"workers,omitempty"`
-	// Faults degrades the fabric for the run: pinned faults hold for
-	// every trial, random rates are redrawn per trial; the response
-	// stays a pure function of the request body.
-	Faults *min.FaultPlan `json:"faults,omitempty"`
-
-	// Wave-model fields. Kernel selects the executor ("auto" default,
-	// "scalar", "bit"); kernels are byte-identical per (seed, trial)
-	// stream, so responses never depend on the choice.
-	Waves  int    `json:"waves,omitempty"`
-	Kernel string `json:"kernel,omitempty"`
-
-	Replications int    `json:"replications,omitempty"` // buffered model
-	Queue        int    `json:"queue,omitempty"`
-	Lanes        int    `json:"lanes,omitempty"`
-	Cycles       int    `json:"cycles,omitempty"`
-	Warmup       int    `json:"warmup,omitempty"`
-	Arbiter      string `json:"arbiter,omitempty"`
-	LaneSelect   string `json:"laneSelect,omitempty"`
-}
-
-type simulateResponse struct {
-	Model    string             `json:"model"`
-	Wave     *min.WaveStats     `json:"wave,omitempty"`
-	Buffered *min.BufferedStats `json:"buffered,omitempty"`
+	writeWireBytes(w, http.StatusOK, resp, s.cacheHeader(hit), wi.respBin)
 }
 
 // execSimulate serves one /v1/simulate body to rendered response
 // bytes. Simulations are not cached (they are cheap to replay only for
 // the caller who knows the seed) but they are context-governed: ctx
 // cancellation stops the engine within one trial.
-func (s *server) execSimulate(ctx context.Context, body []byte) ([]byte, error) {
+func (s *server) execSimulate(ctx context.Context, wi wire, body []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var req simulateRequest
-	if err := decodeBytes(body, &req); err != nil {
+	if err := decodeRequest(wi, body, &req); err != nil {
 		return nil, err
 	}
-	nw, err := s.buildNetwork(req.networkSpec)
+	nw, err := s.buildNetwork(req.NetworkSpec)
 	if err != nil {
 		return nil, err
 	}
@@ -827,7 +787,7 @@ func (s *server) execSimulate(ctx context.Context, body []byte) ([]byte, error) 
 		if err != nil {
 			return nil, err
 		}
-		return encodeJSON(simulateResponse{Model: "wave", Wave: &st})
+		return renderFor(wi)(simulateResponse{Model: "wave", Wave: &st})
 
 	case "buffered":
 		if req.Waves != 0 {
@@ -866,7 +826,7 @@ func (s *server) execSimulate(ctx context.Context, body []byte) ([]byte, error) 
 		if err != nil {
 			return nil, err
 		}
-		return encodeJSON(simulateResponse{Model: "buffered", Buffered: &st})
+		return renderFor(wi)(simulateResponse{Model: "buffered", Buffered: &st})
 
 	default:
 		return nil, badRequest("unknown model %q (wave or buffered)", req.Model)
@@ -874,18 +834,23 @@ func (s *server) execSimulate(ctx context.Context, body []byte) ([]byte, error) 
 }
 
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	wi, err := s.negotiate(r)
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
 	body, release, err := s.readBody(w, r)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
 	defer release()
-	resp, err := s.execSimulate(r.Context(), body)
+	resp, err := s.execSimulate(r.Context(), wi, body)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
-	writeJSONBytes(w, http.StatusOK, resp, nil)
+	writeWireBytes(w, http.StatusOK, resp, nil, wi.respBin)
 }
 
 // valueOr substitutes the default for an omitted (zero) request field.
